@@ -1,0 +1,22 @@
+"""E2 (Fig. 4a): per-stage latency breakdown across 1/2/3 regions."""
+
+from __future__ import annotations
+
+from conftest import BENCH_DURATION, run_once
+from repro.harness import experiments
+
+
+def test_e2_latency_breakdown(benchmark):
+    rows = run_once(benchmark, experiments.run_e2, "hotstuff", max(BENCH_DURATION, 2.0))
+    experiments.print_rows(rows, "E2: latency breakdown (Fig. 4a)")
+    by_setup = {row["setup"]: row for row in rows}
+    one, two, three = by_setup["1 region"], by_setup["2 regions"], by_setup["3 regions"]
+    # Single region: intra-cluster replication dominates the round.
+    assert one["intra_cluster_ms"] > one["inter_cluster_ms"]
+    # Two and three regions: inter-cluster communication dominates and grows
+    # as the farther region (US) is added, mirroring Table II RTTs.
+    assert two["inter_cluster_ms"] > two["intra_cluster_ms"]
+    assert three["inter_cluster_ms"] > two["inter_cluster_ms"]
+    # Reads are served locally and stay far cheaper than writes everywhere.
+    for row in rows:
+        assert row["read_latency_ms"] < row["write_latency_ms"]

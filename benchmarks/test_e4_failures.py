@@ -1,0 +1,52 @@
+"""E4 (Fig. 4f-4h): throughput over time under crash and Byzantine failures."""
+
+from __future__ import annotations
+
+from conftest import BENCH_THREADS, run_once
+from repro.harness import experiments
+
+#: Short failure timeline: fault injected at t=4s, watch recovery until t=12s.
+DURATION = 12.0
+FAULT_TIME = 4.0
+
+
+def _series_stats(rows):
+    before = [r["throughput"] for r in rows if 1.0 <= r["time_s"] < FAULT_TIME]
+    dip = [r["throughput"] for r in rows if FAULT_TIME <= r["time_s"] < FAULT_TIME + 2.0]
+    after = [r["throughput"] for r in rows if r["time_s"] >= DURATION - 3.0]
+    mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+    return mean(before), mean(dip), mean(after)
+
+
+def test_e4_1_non_leader_failures(benchmark):
+    rows = run_once(
+        benchmark, experiments.run_e4, "non_leader", "hotstuff", DURATION, FAULT_TIME, BENCH_THREADS
+    )
+    experiments.print_rows(rows, "E4.1: up to f non-leader crashes (Fig. 4f)")
+    before, _, after = _series_stats(rows)
+    # The system tolerates up to f non-leader crashes and keeps processing.
+    assert after > 0.3 * before
+
+
+def test_e4_2_leader_failure(benchmark):
+    rows = run_once(
+        benchmark, experiments.run_e4, "leader", "hotstuff", DURATION, FAULT_TIME, BENCH_THREADS
+    )
+    experiments.print_rows(rows, "E4.2: leader crash (Fig. 4g)")
+    before, dip, after = _series_stats(rows)
+    # Throughput dips while the leader-change timeout runs, then recovers.
+    assert dip < before
+    assert after > 0.5 * before
+
+
+def test_e4_3_byzantine_leader(benchmark):
+    rows = run_once(
+        benchmark, experiments.run_e4, "byzantine_leader", "hotstuff", DURATION, FAULT_TIME,
+        BENCH_THREADS,
+    )
+    experiments.print_rows(rows, "E4.3: Byzantine leader, remote leader change (Fig. 4h)")
+    before, dip, after = _series_stats(rows)
+    assert dip < before
+    # After the remote leader change replaces the silent leader, throughput
+    # comes back up to (close to) the pre-fault level.
+    assert after > 0.6 * before

@@ -1,0 +1,21 @@
+"""E8 (Fig. 8): impact of inter-cluster network latency during reconfiguration."""
+
+from __future__ import annotations
+
+from conftest import BENCH_THREADS, run_once
+from repro.harness import experiments
+
+
+def test_e8_network_latency_during_reconfiguration(benchmark):
+    rows = run_once(
+        benchmark, experiments.run_e8, ("hotstuff",), 6.0, BENCH_THREADS
+    )
+    experiments.print_rows(rows, "E8: network latency during reconfiguration (Fig. 8)")
+    series = sorted((row for row in rows if row["engine"] == "hotstuff"), key=lambda r: r["rtt_ms"])
+    nearest, farthest = series[0], series[-1]
+    # Fig. 8: as the second cluster moves farther away (52ms -> 219ms RTT),
+    # throughput decreases and write latency increases; reconfigurations keep
+    # being applied throughout.
+    assert farthest["throughput"] < nearest["throughput"]
+    assert farthest["latency_write"] > nearest["latency_write"]
+    assert all(row["reconfigs_applied"] > 0 for row in series)

@@ -1,0 +1,44 @@
+"""Hamava reproduction: fault-tolerant reconfigurable geo-replication.
+
+A pure-Python, simulation-backed reproduction of *Hamava: Fault-tolerant
+Reconfigurable Geo-Replication on Heterogeneous Clusters* (ICDE 2025).
+
+Quickstart::
+
+    from repro import build_deployment
+
+    deployment = build_deployment([(4, "us-west1"), (7, "europe-west3")],
+                                  engine="hotstuff", seed=7)
+    metrics = deployment.run(duration=5.0, warmup=1.0)
+    print(metrics.summary())
+
+See ``examples/`` for complete scenarios and ``benchmarks/`` for the
+reproduction of every table and figure in the paper.
+"""
+
+from repro.core.config import ClusterSpec, HamavaConfig, SystemConfig
+from repro.core.replica import ByzantineBehavior, HamavaReplica
+from repro.core.types import ReconfigRequest, Transaction, join_request, leave_request
+from repro.harness.deployment import Deployment, DeploymentSpec, build_deployment
+from repro.harness.faults import FaultInjector
+from repro.harness.metrics import MetricsCollector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ByzantineBehavior",
+    "ClusterSpec",
+    "Deployment",
+    "DeploymentSpec",
+    "FaultInjector",
+    "HamavaConfig",
+    "HamavaReplica",
+    "MetricsCollector",
+    "ReconfigRequest",
+    "SystemConfig",
+    "Transaction",
+    "build_deployment",
+    "join_request",
+    "leave_request",
+    "__version__",
+]

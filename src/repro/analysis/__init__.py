@@ -1,0 +1,5 @@
+"""Analytical models: protocol complexity (Table I) and report formatting."""
+
+from repro.analysis.complexity import PROTOCOLS, ProtocolComplexity, complexity_table
+
+__all__ = ["PROTOCOLS", "ProtocolComplexity", "complexity_table"]

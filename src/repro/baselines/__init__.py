@@ -1,0 +1,23 @@
+"""Baseline systems the paper compares against.
+
+* :mod:`repro.baselines.geobft` — a GeoBFT-like clustered replication system
+  (clustered PBFT with certified global sharing, pipelined local ordering,
+  no reconfiguration support), used in experiment E6.
+* :mod:`repro.baselines.pbft_global` — non-clustered PBFT over all replicas,
+  the classical baseline clustered replication is motivated against (E0/E1).
+* :mod:`repro.baselines.single_workflow` — Hamava with reconfigurations
+  ordered through the transaction consensus instead of the dedicated
+  parallel workflow, the ablation of experiment E5.2.
+"""
+
+from repro.baselines.geobft import build_geobft_deployment, geobft_config
+from repro.baselines.pbft_global import build_global_pbft_deployment
+from repro.baselines.single_workflow import build_single_workflow_deployment, single_workflow_config
+
+__all__ = [
+    "build_geobft_deployment",
+    "build_global_pbft_deployment",
+    "build_single_workflow_deployment",
+    "geobft_config",
+    "single_workflow_config",
+]

@@ -1,0 +1,52 @@
+"""GeoBFT-like baseline (ResilientDB's clustered protocol), for experiment E6.
+
+GeoBFT [Gupta et al., VLDB 2020] structures replication the same way Hamava
+does — clusters order locally and share certified batches globally — but it:
+
+* uses a PBFT-style protocol inside every cluster,
+* keeps ordering of the next batch going while earlier batches are still
+  being shared and executed (a deep ordering pipeline), and
+* has **no reconfiguration support**: membership is fixed for the lifetime of
+  the deployment, which is exactly the gap Hamava fills.
+
+We model those three properties with configuration: the BFT-SMaRt (PBFT-like)
+engine, ``pipeline_local_ordering=True``, and the single-workflow reconfig
+path with no churn ever scheduled (so no reconfiguration machinery runs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.config import HamavaConfig
+from repro.harness.deployment import Deployment, DeploymentSpec
+
+
+def geobft_config(base: Optional[HamavaConfig] = None) -> HamavaConfig:
+    """The configuration modelling GeoBFT on top of the shared substrate."""
+    base = base or HamavaConfig()
+    config = base.with_engine("bftsmart")
+    config.parallel_reconfig = False
+    config.pipeline_local_ordering = True
+    return config
+
+
+def build_geobft_deployment(
+    clusters: Sequence[Tuple[int, str]],
+    seed: int = 1,
+    client_threads: int = 16,
+    config: Optional[HamavaConfig] = None,
+    **spec_kwargs,
+) -> Deployment:
+    """Build a GeoBFT deployment over the given clusters."""
+    spec = DeploymentSpec(
+        clusters=clusters,
+        config=geobft_config(config),
+        seed=seed,
+        client_threads=client_threads,
+        **spec_kwargs,
+    )
+    return Deployment(spec)
+
+
+__all__ = ["build_geobft_deployment", "geobft_config"]

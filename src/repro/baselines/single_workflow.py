@@ -1,0 +1,44 @@
+"""Single-workflow reconfiguration baseline (experiment E5.2).
+
+Hamava's design takes reconfigurations *off* the critical path: they are
+collected as a set and disseminated in parallel with transaction ordering.
+The ablation orders every reconfiguration request through the same consensus
+as transactions, where it occupies batch slots and is processed in sequence —
+the behaviour the paper compares against in Fig. 5b.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.core.config import HamavaConfig
+from repro.harness.deployment import Deployment, DeploymentSpec
+
+
+def single_workflow_config(base: Optional[HamavaConfig] = None) -> HamavaConfig:
+    """Configuration with reconfigurations ordered through the transaction path."""
+    config = base or HamavaConfig()
+    config.parallel_reconfig = False
+    return config
+
+
+def build_single_workflow_deployment(
+    clusters: Sequence[Tuple[int, str]],
+    engine: str = "hotstuff",
+    seed: int = 1,
+    client_threads: int = 16,
+    config: Optional[HamavaConfig] = None,
+    **spec_kwargs,
+) -> Deployment:
+    """Build a deployment running the single-workflow reconfiguration variant."""
+    spec = DeploymentSpec(
+        clusters=clusters,
+        config=single_workflow_config(config).with_engine(engine),
+        seed=seed,
+        client_threads=client_threads,
+        **spec_kwargs,
+    )
+    return Deployment(spec)
+
+
+__all__ = ["build_single_workflow_deployment", "single_workflow_config"]

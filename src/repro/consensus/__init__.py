@@ -1,0 +1,30 @@
+"""Local consensus substrates ("local ordering" in the paper).
+
+Hamava is agnostic to the local replication protocol; the paper instantiates
+it with HotStuff (AVA-HOTSTUFF) and BFT-SMaRt (AVA-BFTSMART).  This package
+provides both engines behind a common :class:`TotalOrderBroadcast` interface
+plus the round-robin leader-election module of Alg. 9.
+"""
+
+from repro.consensus.bftsmart import BftSmartEngine
+from repro.consensus.hotstuff import HotStuffEngine
+from repro.consensus.interface import (
+    ConsensusConfig,
+    Decision,
+    TotalOrderBroadcast,
+    commit_digest,
+)
+from repro.consensus.leader_election import LeaderElection
+from repro.consensus.registry import ENGINES, make_engine
+
+__all__ = [
+    "BftSmartEngine",
+    "ConsensusConfig",
+    "Decision",
+    "ENGINES",
+    "HotStuffEngine",
+    "LeaderElection",
+    "TotalOrderBroadcast",
+    "commit_digest",
+    "make_engine",
+]

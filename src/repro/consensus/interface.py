@@ -1,0 +1,233 @@
+"""The total-order-broadcast interface that Hamava's stage 1 builds on.
+
+Alg. 7 of the paper treats the local ordering protocol as a black box ``tob``
+with ``broadcast`` / ``deliver`` plus ``new-leader`` / ``complain`` hooks.
+Hamava batches transactions, so the engines here order *batches*: one
+consensus decision per Hamava round per cluster (this matches the paper's
+evaluation setup of batches of 100 transactions per round).
+
+Engines deliver a :class:`Decision` carrying the batch and a commit
+certificate with at least ``2f+1`` signatures from the cluster, which stage 2
+ships to remote clusters as the proof that the batch was really ordered.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.net.crypto import Certificate, KeyRegistry
+from repro.net.links import AuthenticatedBestEffortBroadcast, AuthenticatedPerfectLink
+from repro.net.message import Envelope, payload_digest
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+
+def commit_digest(cluster_id: int, sequence: int, value: Any) -> str:
+    """Digest that commit certificates sign: binds cluster, round, and batch."""
+    return f"commit|c{cluster_id}|s{sequence}|{payload_digest(value)}"
+
+
+@dataclass
+class ConsensusConfig:
+    """Tunable constants shared by the consensus engines.
+
+    Attributes:
+        instance_timeout: Seconds a replica waits for a decision before
+            complaining about the local leader (the paper's experiments use
+            large timeouts, e.g. 20 s, to avoid spurious view changes).
+        payload_byte_size: Estimated serialized size of one transaction,
+            used by the bandwidth model (the paper uses 1 KB operations).
+    """
+
+    instance_timeout: float = 20.0
+    payload_byte_size: int = 1024
+
+
+@dataclass
+class Decision:
+    """A delivered consensus decision for one sequence number."""
+
+    sequence: int
+    value: Any
+    certificate: Certificate
+    decided_at: float = 0.0
+
+    def digest(self) -> str:
+        """The digest the certificate covers."""
+        return self.certificate.digest
+
+
+@dataclass
+class _Instance:
+    """Book-keeping for one in-flight consensus instance."""
+
+    sequence: int
+    value: Any = None
+    value_digest: Optional[str] = None
+    prepared_value: Any = None
+    prepared_certificate: Optional[Certificate] = None
+    decided: bool = False
+    votes: dict = field(default_factory=dict)
+    timer: Any = None
+
+
+class TotalOrderBroadcast(ABC):
+    """Common machinery for the HotStuff-like and PBFT-like engines.
+
+    Args:
+        owner: Replica id this engine instance runs at.
+        cluster_id: Numeric id of the local cluster.
+        members_fn: Callable returning the *current* sorted cluster members;
+            a callable (not a list) so reconfiguration is picked up each use.
+        faults_fn: Callable returning the current failure threshold ``f``.
+        network: Simulated network.
+        simulator: Simulation kernel.
+        config: Engine constants.
+        on_deliver: Callback ``(Decision) -> None``.
+        on_complain: Callback ``(leader_id) -> None`` used to feed Alg. 8.
+    """
+
+    #: Message payload classes this engine consumes (set by subclasses).
+    MESSAGE_TYPES: tuple = ()
+
+    def __init__(
+        self,
+        owner: str,
+        cluster_id: int,
+        members_fn: Callable[[], List[str]],
+        faults_fn: Callable[[], int],
+        network: Network,
+        simulator: Simulator,
+        config: Optional[ConsensusConfig] = None,
+        on_deliver: Optional[Callable[[Decision], None]] = None,
+        on_complain: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.owner = owner
+        self.cluster_id = cluster_id
+        self.members_fn = members_fn
+        self.faults_fn = faults_fn
+        self.network = network
+        self.simulator = simulator
+        self.config = config or ConsensusConfig()
+        self.on_deliver = on_deliver or (lambda decision: None)
+        self.on_complain = on_complain or (lambda leader: None)
+        self.apl = AuthenticatedPerfectLink(owner, network)
+        self.abeb = AuthenticatedBestEffortBroadcast(owner, network, members_fn)
+        self.leader: str = self.members()[0] if self.members() else owner
+        self.view_ts: int = 0
+        self.decisions: dict[int, Decision] = {}
+        self._instances: dict[int, _Instance] = {}
+
+    # ------------------------------------------------------------------ #
+    # Membership helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def registry(self) -> KeyRegistry:
+        """The key registry shared by the network."""
+        return self.network.registry
+
+    def members(self) -> List[str]:
+        """Sorted current cluster membership."""
+        return sorted(self.members_fn())
+
+    def faults(self) -> int:
+        """Current failure threshold ``f`` of the local cluster."""
+        return self.faults_fn()
+
+    def quorum(self) -> int:
+        """Quorum size ``2f + 1``."""
+        return 2 * self.faults() + 1
+
+    def is_leader(self) -> bool:
+        """Whether this replica currently leads the cluster."""
+        return self.owner == self.leader
+
+    # ------------------------------------------------------------------ #
+    # Instances
+    # ------------------------------------------------------------------ #
+    def instance(self, sequence: int) -> _Instance:
+        """Get or create the book-keeping record for a sequence number."""
+        if sequence not in self._instances:
+            self._instances[sequence] = _Instance(sequence=sequence)
+        return self._instances[sequence]
+
+    def start_instance(self, sequence: int) -> None:
+        """Arm the local timer watching the leader for this instance."""
+        instance = self.instance(sequence)
+        if instance.decided:
+            return
+        if instance.timer is None:
+            instance.timer = self.simulator.timer(
+                self.config.instance_timeout,
+                lambda seq=sequence: self._on_timeout(seq),
+                name=f"{self.owner}:tob:{sequence}",
+            )
+        instance.timer.start(self.config.instance_timeout)
+
+    def _on_timeout(self, sequence: int) -> None:
+        instance = self._instances.get(sequence)
+        if instance is None or instance.decided:
+            return
+        self.on_complain(self.leader)
+
+    def stop_instance_timer(self, sequence: int) -> None:
+        """Disarm the leader-watch timer for a decided instance."""
+        instance = self._instances.get(sequence)
+        if instance is not None and instance.timer is not None:
+            instance.timer.stop()
+
+    def _decide(self, sequence: int, value: Any, certificate: Certificate) -> None:
+        instance = self.instance(sequence)
+        if instance.decided:
+            return
+        instance.decided = True
+        self.stop_instance_timer(sequence)
+        decision = Decision(
+            sequence=sequence,
+            value=value,
+            certificate=certificate,
+            decided_at=self.simulator.now,
+        )
+        self.decisions[sequence] = decision
+        self.on_deliver(decision)
+
+    def has_decided(self, sequence: int) -> bool:
+        """Whether this replica already delivered the given sequence."""
+        return sequence in self.decisions
+
+    # ------------------------------------------------------------------ #
+    # Leader handling
+    # ------------------------------------------------------------------ #
+    def new_leader(self, leader: str, view_ts: int) -> None:
+        """Install a new leader (invoked by Alg. 8 after leader election)."""
+        if view_ts <= self.view_ts and leader == self.leader:
+            return
+        self.leader = leader
+        self.view_ts = view_ts
+        self.on_view_change()
+
+    def on_view_change(self) -> None:
+        """Subclass hook: recover in-flight instances under the new leader."""
+
+    # ------------------------------------------------------------------ #
+    # Abstract protocol surface
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def propose(self, sequence: int, value: Any) -> None:
+        """Leader entry point: start ordering ``value`` at ``sequence``."""
+
+    @abstractmethod
+    def on_message(self, sender: str, envelope: Envelope) -> bool:
+        """Consume an engine message.  Returns ``True`` if it was handled."""
+
+    # ------------------------------------------------------------------ #
+    # Introspection for tests and metrics
+    # ------------------------------------------------------------------ #
+    def pending_sequences(self) -> Iterable[int]:
+        """Sequences started but not yet decided at this replica."""
+        return [seq for seq, inst in self._instances.items() if not inst.decided]
+
+
+__all__ = ["ConsensusConfig", "Decision", "TotalOrderBroadcast", "commit_digest"]

@@ -1,0 +1,43 @@
+"""Registry of available local-ordering engines.
+
+Hamava is consensus-agnostic; deployments select the engine by name
+("hotstuff" for AVA-HOTSTUFF, "bftsmart" for AVA-BFTSMART).  Additional
+engines can be registered by downstream users.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Type
+
+from repro.consensus.bftsmart import BftSmartEngine
+from repro.consensus.hotstuff import HotStuffEngine
+from repro.consensus.interface import TotalOrderBroadcast
+from repro.errors import ConfigurationError
+
+#: Mapping from engine name to engine class.
+ENGINES: Dict[str, Type[TotalOrderBroadcast]] = {
+    "hotstuff": HotStuffEngine,
+    "bftsmart": BftSmartEngine,
+}
+
+
+def register_engine(name: str, engine_cls: Type[TotalOrderBroadcast]) -> None:
+    """Register a custom local-ordering engine under ``name``."""
+    ENGINES[name.lower()] = engine_cls
+
+
+def make_engine(name: str, *args, **kwargs) -> TotalOrderBroadcast:
+    """Instantiate the engine registered under ``name``.
+
+    Raises:
+        ConfigurationError: If no engine is registered under that name.
+    """
+    key = name.lower()
+    if key not in ENGINES:
+        raise ConfigurationError(
+            f"unknown consensus engine {name!r}; available: {sorted(ENGINES)}"
+        )
+    return ENGINES[key](*args, **kwargs)
+
+
+__all__ = ["ENGINES", "make_engine", "register_engine"]

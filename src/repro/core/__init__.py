@@ -1,0 +1,40 @@
+"""Hamava core: the reconfigurable clustered replication meta-protocol.
+
+The public surface of this package is:
+
+* :class:`~repro.core.replica.HamavaReplica` — one replica of the replicated
+  system, orchestrating the three stages of each round (intra-cluster
+  replication, inter-cluster communication, execution).
+* :class:`~repro.core.config.HamavaConfig` and
+  :class:`~repro.core.config.SystemConfig` — protocol and deployment
+  configuration.
+* The protocol sub-components, usable on their own:
+  :class:`~repro.core.brd.ByzantineReliableDissemination` (Alg. 5/6),
+  :class:`~repro.core.remote_leader_change.RemoteLeaderChange` (Alg. 2),
+  :class:`~repro.core.reconfiguration.ReconfigurationCollector` (Alg. 3).
+"""
+
+from repro.core.config import ClusterSpec, HamavaConfig, SystemConfig
+from repro.core.replica import ByzantineBehavior, HamavaReplica
+from repro.core.statemachine import KeyValueStore
+from repro.core.types import (
+    OperationsBundle,
+    ReconfigRequest,
+    Transaction,
+    join_request,
+    leave_request,
+)
+
+__all__ = [
+    "ByzantineBehavior",
+    "ClusterSpec",
+    "HamavaConfig",
+    "HamavaReplica",
+    "KeyValueStore",
+    "OperationsBundle",
+    "ReconfigRequest",
+    "SystemConfig",
+    "Transaction",
+    "join_request",
+    "leave_request",
+]

@@ -1,0 +1,472 @@
+"""Byzantine Reliable Dissemination (paper Alg. 5/6).
+
+BRD collects one message (a set of reconfiguration requests) from every
+replica of a cluster, lets the leader aggregate a quorum of them, and then
+reliably disseminates the aggregated set through Echo/Ready phases so that
+
+* the delivered set provably contains the submissions of a quorum
+  (*Integrity* — a Byzantine leader cannot censor a request stored at a
+  quorum),
+* no two correct replicas deliver different sets (*Uniformity*), even when
+  the leader changes mid-dissemination (new leaders adopt the highest-
+  timestamped ``valid`` set reported by a quorum), and
+* every correct replica eventually delivers (*Termination*), because a stuck
+  leader is complained about and replaced.
+
+Delivery hands back two proofs: Σ (the collection proof — who submitted
+what) and Σ' (the Ready certificate — ``2f+1`` signatures over the delivered
+set), which Hamava ships to remote clusters as evidence that the
+reconfiguration set is the cluster's uniform decision for the round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.messages import BrdAgg, BrdEcho, BrdReady, BrdSubmit, BrdValid
+from repro.core.types import ReconfigRequest
+from repro.net.crypto import Certificate, Signature
+from repro.net.links import AuthenticatedBestEffortBroadcast, AuthenticatedPerfectLink
+from repro.net.message import Envelope, payload_digest
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+
+def canonical_recs(recs) -> Tuple[ReconfigRequest, ...]:
+    """Canonical (sorted, de-duplicated) form of a reconfiguration set."""
+    return tuple(sorted(set(recs)))
+
+
+def submit_digest(cluster_id: int, round_number: int, recs) -> str:
+    """Digest a replica signs when submitting its collected set."""
+    return f"brd-submit|c{cluster_id}|r{round_number}|{payload_digest(canonical_recs(recs))}"
+
+
+def echo_digest(cluster_id: int, round_number: int, recs) -> str:
+    """Digest echo votes sign."""
+    return f"brd-echo|c{cluster_id}|r{round_number}|{payload_digest(canonical_recs(recs))}"
+
+
+def ready_digest(cluster_id: int, round_number: int, recs) -> str:
+    """Digest ready votes sign; this is the certificate remote clusters check."""
+    return f"brd-ready|c{cluster_id}|r{round_number}|{payload_digest(canonical_recs(recs))}"
+
+
+@dataclass(frozen=True)
+class CollectionEntry:
+    """One replica's signed submission inside a collection proof."""
+
+    sender: str
+    recs: Tuple[ReconfigRequest, ...]
+    signature: Signature
+
+
+@dataclass
+class CollectionProof:
+    """Σ: the signed submissions the leader aggregated (quorum of them)."""
+
+    cluster_id: int
+    round_number: int
+    entries: Tuple[CollectionEntry, ...] = ()
+
+    def senders(self) -> set:
+        """Distinct submitting replicas."""
+        return {entry.sender for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass
+class _ValidSet:
+    """A locally stored "valid" set, forwarded to new leaders on view change."""
+
+    recs: Tuple[ReconfigRequest, ...]
+    certificate: Certificate
+    kind: str  # "echo" or "ready"
+    view_ts: int
+
+
+class ByzantineReliableDissemination:
+    """One BRD instance (one cluster, one round) at one replica.
+
+    Args:
+        owner: Replica id this instance runs at.
+        cluster_id: Local cluster id.
+        round_number: The round this instance disseminates for.
+        members_fn: Callable returning current cluster membership.
+        faults_fn: Callable returning the current failure threshold ``f``.
+        network: Simulated network.
+        simulator: Simulation kernel (for the delivery timer).
+        leader: Current cluster leader when the instance is created.
+        view_ts: Leader timestamp when the instance is created.
+        timeout: Seconds to wait for delivery before complaining.
+        on_deliver: ``(recs, collection_proof, ready_certificate) -> None``.
+        on_complain: ``(leader_id) -> None``.
+    """
+
+    MESSAGE_TYPES = (BrdSubmit, BrdAgg, BrdEcho, BrdReady, BrdValid)
+
+    def __init__(
+        self,
+        owner: str,
+        cluster_id: int,
+        round_number: int,
+        members_fn: Callable[[], List[str]],
+        faults_fn: Callable[[], int],
+        network: Network,
+        simulator: Simulator,
+        leader: str,
+        view_ts: int,
+        timeout: float = 20.0,
+        on_deliver: Optional[Callable] = None,
+        on_complain: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.owner = owner
+        self.cluster_id = cluster_id
+        self.round_number = round_number
+        self.members_fn = members_fn
+        self.faults_fn = faults_fn
+        self.network = network
+        self.simulator = simulator
+        self.leader = leader
+        self.view_ts = view_ts
+        self.timeout = timeout
+        self.on_deliver = on_deliver or (lambda recs, proof, cert: None)
+        self.on_complain = on_complain or (lambda leader: None)
+        self.apl = AuthenticatedPerfectLink(owner, network)
+        self.abeb = AuthenticatedBestEffortBroadcast(owner, network, members_fn)
+
+        # Replica-side state (Alg. 5 vars).
+        self.my_recs: Optional[Tuple[ReconfigRequest, ...]] = None
+        self.echoed = False
+        self.readied = False
+        self.delivered = False
+        self.valid: Optional[_ValidSet] = None
+
+        # Leader-side state.
+        self._collected: Dict[str, CollectionEntry] = {}
+        self._quorum_senders: set = set()
+        self.high_valid: Optional[_ValidSet] = None
+        self._aggregated_view: Optional[int] = None
+
+        # Vote tracking keyed by the recs digest.
+        self._echo_certs: Dict[str, Certificate] = {}
+        self._ready_certs: Dict[str, Certificate] = {}
+        self._agg_proofs: Dict[str, CollectionProof] = {}
+
+        self._timer = simulator.timer(
+            timeout, self._on_timeout, name=f"{owner}:brd:{round_number}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Membership helpers
+    # ------------------------------------------------------------------ #
+    def members(self) -> List[str]:
+        """Sorted current cluster membership."""
+        return sorted(self.members_fn())
+
+    def quorum(self) -> int:
+        """Quorum size ``2f + 1``."""
+        return 2 * self.faults_fn() + 1
+
+    @property
+    def registry(self):
+        """The shared key registry."""
+        return self.network.registry
+
+    def is_leader(self) -> bool:
+        """Whether this replica is the current BRD leader."""
+        return self.owner == self.leader
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def broadcast(self, recs) -> None:
+        """Submit this replica's collected reconfiguration set (Alg. 5 l.13)."""
+        self.my_recs = canonical_recs(recs)
+        signature = self.registry.sign(
+            self.owner, submit_digest(self.cluster_id, self.round_number, self.my_recs)
+        )
+        self.apl.send(
+            self.leader,
+            BrdSubmit(
+                cluster_id=self.cluster_id,
+                round_number=self.round_number,
+                view_ts=self.view_ts,
+                recs=self.my_recs,
+                signature=signature,
+            ),
+        )
+        self._timer.start(self.timeout)
+
+    def new_leader(self, leader: str, view_ts: int) -> None:
+        """Install a new leader and hand it this replica's state (Alg. 6 l.40)."""
+        self.leader = leader
+        self.view_ts = view_ts
+        self.echoed = False
+        self.readied = False
+        self.high_valid = None
+        self._collected = {}
+        self._quorum_senders = set()
+        self._aggregated_view = None
+        if self.delivered:
+            return
+        self._timer.start(self.timeout)
+        if self.valid is not None:
+            self.apl.send(
+                self.leader,
+                BrdValid(
+                    cluster_id=self.cluster_id,
+                    round_number=self.round_number,
+                    view_ts=self.view_ts,
+                    recs=self.valid.recs,
+                    certificate=self.valid.certificate,
+                    certificate_kind=self.valid.kind,
+                    valid_ts=self.valid.view_ts,
+                ),
+            )
+        elif self.my_recs is not None:
+            signature = self.registry.sign(
+                self.owner, submit_digest(self.cluster_id, self.round_number, self.my_recs)
+            )
+            self.apl.send(
+                self.leader,
+                BrdSubmit(
+                    cluster_id=self.cluster_id,
+                    round_number=self.round_number,
+                    view_ts=self.view_ts,
+                    recs=self.my_recs,
+                    signature=signature,
+                ),
+            )
+
+    def stop(self) -> None:
+        """Stop the delivery timer (used when a round is torn down)."""
+        self._timer.stop()
+
+    # ------------------------------------------------------------------ #
+    # Message handling
+    # ------------------------------------------------------------------ #
+    def on_message(self, sender: str, envelope: Envelope) -> bool:
+        """Consume a BRD message for this cluster and round."""
+        payload = envelope.payload
+        if not isinstance(payload, self.MESSAGE_TYPES):
+            return False
+        if payload.cluster_id != self.cluster_id or payload.round_number != self.round_number:
+            return False
+        if isinstance(payload, BrdSubmit):
+            self._on_submit(sender, payload)
+        elif isinstance(payload, BrdAgg):
+            self._on_agg(sender, payload)
+        elif isinstance(payload, BrdEcho):
+            self._on_echo(sender, payload)
+        elif isinstance(payload, BrdReady):
+            self._on_ready(sender, payload)
+        elif isinstance(payload, BrdValid):
+            self._on_valid(sender, payload)
+        return True
+
+    # -- leader side ------------------------------------------------------ #
+    def _on_submit(self, sender: str, message: BrdSubmit) -> None:
+        if not self.is_leader() or message.view_ts != self.view_ts:
+            return
+        if sender not in self.members():
+            return
+        recs = canonical_recs(message.recs)
+        expected = submit_digest(self.cluster_id, self.round_number, recs)
+        if message.signature is None or message.signature.digest != expected:
+            return
+        if message.signature.signer != sender or not self.registry.verify(message.signature):
+            return
+        self._collected[sender] = CollectionEntry(sender=sender, recs=recs, signature=message.signature)
+        self._quorum_senders.add(sender)
+        self._maybe_aggregate()
+
+    def _on_valid(self, sender: str, message: BrdValid) -> None:
+        if not self.is_leader():
+            return
+        if sender not in self.members():
+            return
+        recs = canonical_recs(message.recs)
+        if not self._attestation_valid(recs, message.certificate, message.certificate_kind):
+            return
+        if self.high_valid is None or message.valid_ts > self.high_valid.view_ts:
+            self.high_valid = _ValidSet(
+                recs=recs,
+                certificate=message.certificate,
+                kind=message.certificate_kind,
+                view_ts=message.valid_ts,
+            )
+        self._quorum_senders.add(sender)
+        self._maybe_aggregate()
+
+    def _maybe_aggregate(self) -> None:
+        if not self.is_leader():
+            return
+        if len(self._quorum_senders) < self.quorum():
+            return
+        if self._aggregated_view == self.view_ts:
+            return
+        self._aggregated_view = self.view_ts
+        if self.high_valid is not None:
+            message = BrdAgg(
+                cluster_id=self.cluster_id,
+                round_number=self.round_number,
+                view_ts=self.view_ts,
+                recs=self.high_valid.recs,
+                collection_certificate=self.high_valid.certificate,
+                attestation_kind=self.high_valid.kind,
+            )
+            self.abeb.broadcast(message)
+            return
+        union: set = set()
+        for entry in self._collected.values():
+            union.update(entry.recs)
+        aggregated = canonical_recs(union)
+        proof = CollectionProof(
+            cluster_id=self.cluster_id,
+            round_number=self.round_number,
+            entries=tuple(self._collected.values()),
+        )
+        self._agg_proofs[payload_digest(aggregated)] = proof
+        message = BrdAgg(
+            cluster_id=self.cluster_id,
+            round_number=self.round_number,
+            view_ts=self.view_ts,
+            recs=aggregated,
+            collection_certificate=proof,  # type: ignore[arg-type]
+            attestation_kind="collection",
+        )
+        self.abeb.broadcast(message)
+
+    # -- replica side ------------------------------------------------------ #
+    def _on_agg(self, sender: str, message: BrdAgg) -> None:
+        if sender != self.leader or message.view_ts != self.view_ts or self.echoed:
+            return
+        recs = canonical_recs(message.recs)
+        attestation = message.collection_certificate
+        if message.attestation_kind == "collection":
+            if not isinstance(attestation, CollectionProof):
+                return
+            if not self.collection_valid(attestation, recs):
+                return
+            self._agg_proofs[payload_digest(recs)] = attestation
+        else:
+            if not self._attestation_valid(recs, attestation, message.attestation_kind):
+                return
+        self.echoed = True
+        digest = echo_digest(self.cluster_id, self.round_number, recs)
+        self.abeb.broadcast(
+            BrdEcho(
+                cluster_id=self.cluster_id,
+                round_number=self.round_number,
+                view_ts=self.view_ts,
+                recs=recs,
+                echo_signature=self.registry.sign(self.owner, digest),
+            )
+        )
+
+    def _on_echo(self, sender: str, message: BrdEcho) -> None:
+        recs = canonical_recs(message.recs)
+        digest = echo_digest(self.cluster_id, self.round_number, recs)
+        signature = message.echo_signature
+        if signature is None or signature.digest != digest or signature.signer != sender:
+            return
+        if sender not in self.members() or not self.registry.verify(signature):
+            return
+        cert = self._echo_certs.setdefault(payload_digest(recs), Certificate(digest, kind="echo"))
+        cert.add(signature)
+        if len(cert) >= self.quorum() and not self.readied:
+            self._send_ready(recs, cert, kind="echo")
+
+    def _on_ready(self, sender: str, message: BrdReady) -> None:
+        recs = canonical_recs(message.recs)
+        digest = ready_digest(self.cluster_id, self.round_number, recs)
+        signature = message.ready_signature
+        if signature is None or signature.digest != digest or signature.signer != sender:
+            return
+        if sender not in self.members() or not self.registry.verify(signature):
+            return
+        key = payload_digest(recs)
+        cert = self._ready_certs.setdefault(key, Certificate(digest, kind="ready"))
+        cert.add(signature)
+        faults = self.faults_fn()
+        if len(cert) >= faults + 1 and not self.readied:
+            self._send_ready(recs, cert, kind="ready")
+        if len(cert) >= self.quorum() and not self.delivered:
+            self.delivered = True
+            self._timer.stop()
+            proof = self._agg_proofs.get(key)
+            self.on_deliver(recs, proof, cert.copy())
+
+    def _send_ready(self, recs: Tuple[ReconfigRequest, ...], certificate: Certificate, kind: str) -> None:
+        self.readied = True
+        self.valid = _ValidSet(
+            recs=recs, certificate=certificate.copy(), kind=kind, view_ts=self.view_ts
+        )
+        digest = ready_digest(self.cluster_id, self.round_number, recs)
+        self.abeb.broadcast(
+            BrdReady(
+                cluster_id=self.cluster_id,
+                round_number=self.round_number,
+                view_ts=self.view_ts,
+                recs=recs,
+                ready_signature=self.registry.sign(self.owner, digest),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+    def collection_valid(self, proof: CollectionProof, aggregated: Tuple[ReconfigRequest, ...]) -> bool:
+        """Check Σ: a quorum of distinct, valid submissions whose union is M."""
+        members = set(self.members())
+        senders: set = set()
+        union: set = set()
+        for entry in proof.entries:
+            if entry.sender not in members or entry.sender in senders:
+                continue
+            expected = submit_digest(self.cluster_id, self.round_number, entry.recs)
+            if entry.signature.digest != expected or entry.signature.signer != entry.sender:
+                continue
+            if not self.registry.verify(entry.signature):
+                continue
+            senders.add(entry.sender)
+            union.update(entry.recs)
+        if len(senders) < self.quorum():
+            return False
+        return canonical_recs(union) == canonical_recs(aggregated)
+
+    def _attestation_valid(self, recs, certificate, kind: str) -> bool:
+        if not isinstance(certificate, Certificate):
+            return False
+        members = self.members()
+        faults = self.faults_fn()
+        if kind == "echo":
+            digest = echo_digest(self.cluster_id, self.round_number, recs)
+            return self.registry.certificate_valid(certificate, members, 2 * faults + 1, digest=digest)
+        if kind == "ready":
+            digest = ready_digest(self.cluster_id, self.round_number, recs)
+            return self.registry.certificate_valid(certificate, members, faults + 1, digest=digest)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Timer
+    # ------------------------------------------------------------------ #
+    def _on_timeout(self) -> None:
+        if not self.delivered:
+            self.on_complain(self.leader)
+            self._timer.start(self.timeout)
+
+
+__all__ = [
+    "ByzantineReliableDissemination",
+    "CollectionEntry",
+    "CollectionProof",
+    "canonical_recs",
+    "echo_digest",
+    "ready_digest",
+    "submit_digest",
+]

@@ -1,0 +1,203 @@
+"""Deployment and protocol configuration.
+
+Two layers of configuration exist:
+
+* :class:`SystemConfig` — *who* is in the system: the clusters, their
+  members, and the regions they live in.  This is only the *initial*
+  configuration; each replica maintains its own evolving view as
+  reconfigurations execute.
+* :class:`HamavaConfig` — *how* the protocol behaves: batch sizes, timers,
+  which local ordering engine to use, and whether reconfigurations run in
+  the parallel workflow (Hamava) or inside the transaction ordering (the
+  single-workflow baseline of experiment E5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional
+
+from repro.consensus.interface import ConsensusConfig
+from repro.errors import ConfigurationError
+
+
+def failure_threshold(cluster_size: int) -> int:
+    """The paper's failure threshold: ``f_j = ⌊(|C_j| - 1) / 3⌋``."""
+    if cluster_size <= 0:
+        return 0
+    return (cluster_size - 1) // 3
+
+
+@dataclass
+class ClusterSpec:
+    """Static description of one cluster in the initial configuration.
+
+    Attributes:
+        cluster_id: Numeric id; also the predefined execution order (stage 3).
+        region: Region every member is placed in (clusters are intra-region
+            in the paper's deployments).
+        replicas: Replica identifiers, e.g. ``["c0/r0", "c0/r1", ...]``.
+    """
+
+    cluster_id: int
+    region: str
+    replicas: List[str] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of replicas in the cluster."""
+        return len(self.replicas)
+
+    @property
+    def faults(self) -> int:
+        """Failure threshold ``f`` for this cluster."""
+        return failure_threshold(self.size)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if the spec is unusable."""
+        if self.size < 1:
+            raise ConfigurationError(f"cluster {self.cluster_id} has no replicas")
+        if len(set(self.replicas)) != self.size:
+            raise ConfigurationError(f"cluster {self.cluster_id} has duplicate replica ids")
+
+
+@dataclass
+class SystemConfig:
+    """The initial system configuration: all clusters and their members."""
+
+    clusters: Dict[int, ClusterSpec] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, sizes_and_regions: Iterable[tuple], prefix: str = "c") -> "SystemConfig":
+        """Construct a configuration from ``[(size, region), ...]`` tuples.
+
+        Replica ids are generated as ``"{prefix}{cluster}/r{index}"``.
+        """
+        clusters: Dict[int, ClusterSpec] = {}
+        for cluster_id, (size, region) in enumerate(sizes_and_regions):
+            replicas = [f"{prefix}{cluster_id}/r{i}" for i in range(size)]
+            clusters[cluster_id] = ClusterSpec(cluster_id=cluster_id, region=region, replicas=replicas)
+        config = cls(clusters=clusters)
+        config.validate()
+        return config
+
+    def validate(self) -> None:
+        """Validate every cluster spec and cross-cluster uniqueness."""
+        if not self.clusters:
+            raise ConfigurationError("a system needs at least one cluster")
+        seen: set = set()
+        for spec in self.clusters.values():
+            spec.validate()
+            overlap = seen.intersection(spec.replicas)
+            if overlap:
+                raise ConfigurationError(f"replicas {sorted(overlap)} appear in multiple clusters")
+            seen.update(spec.replicas)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def cluster_ids(self) -> List[int]:
+        """Sorted cluster identifiers."""
+        return sorted(self.clusters)
+
+    def members(self, cluster_id: int) -> List[str]:
+        """Sorted members of one cluster."""
+        return sorted(self.clusters[cluster_id].replicas)
+
+    def all_replicas(self) -> List[str]:
+        """All replica ids across all clusters."""
+        replicas: List[str] = []
+        for cluster_id in self.cluster_ids():
+            replicas.extend(self.members(cluster_id))
+        return replicas
+
+    def cluster_of(self, replica_id: str) -> int:
+        """The cluster a replica belongs to."""
+        for cluster_id, spec in self.clusters.items():
+            if replica_id in spec.replicas:
+                return cluster_id
+        raise ConfigurationError(f"replica {replica_id!r} is not in any cluster")
+
+    def region_of_cluster(self, cluster_id: int) -> str:
+        """Region of a cluster."""
+        return self.clusters[cluster_id].region
+
+    def faults(self, cluster_id: int) -> int:
+        """Failure threshold of a cluster in the initial configuration."""
+        return self.clusters[cluster_id].faults
+
+    def initial_view(self) -> Dict[int, set]:
+        """The membership view replicas start from: ``{cluster: {members}}``."""
+        return {cid: set(spec.replicas) for cid, spec in self.clusters.items()}
+
+    def total_replicas(self) -> int:
+        """Total number of replicas in the system."""
+        return sum(spec.size for spec in self.clusters.values())
+
+
+@dataclass
+class HamavaConfig:
+    """Protocol parameters for a Hamava deployment.
+
+    Attributes:
+        engine: Local ordering engine name (``"hotstuff"`` or ``"bftsmart"``).
+        batch_size: Transactions per round per cluster (paper: 100).
+        batch_timeout: Leader proposes a partial (possibly empty) batch after
+            this many seconds so rounds progress under light load.
+        remote_timeout: ``Δ`` — how long replicas wait for a remote cluster's
+            operations before starting the remote leader change (paper: 20 s).
+        leader_change_epsilon: ``ε`` — grace period after a local leader
+            change during which further remote complaints are ignored.
+        brd_timeout: How long BRD waits for delivery before complaining.
+        consensus: Parameters for the local ordering engine.
+        parallel_reconfig: ``True`` runs reconfigurations in the dedicated
+            workflow (Hamava); ``False`` orders them through the transaction
+            consensus (the single-workflow baseline of E5.2).
+        local_reads: Serve read transactions immediately at the contacted
+            replica (the behaviour the paper describes in E2).
+        retry_timeout: Client-side retransmission timeout for lost writes.
+        pipeline_local_ordering: When ``True`` the leader starts ordering the
+            next round's batch as soon as the current round's local ordering
+            finishes, overlapping it with inter-cluster communication and
+            execution.  Hamava keeps this off (its reconfiguration round
+            barrier requires aligned rounds); the GeoBFT baseline turns it on.
+    """
+
+    engine: str = "hotstuff"
+    batch_size: int = 100
+    batch_timeout: float = 0.01
+    remote_timeout: float = 20.0
+    leader_change_epsilon: float = 1.0
+    brd_timeout: float = 20.0
+    consensus: ConsensusConfig = field(default_factory=ConsensusConfig)
+    parallel_reconfig: bool = True
+    local_reads: bool = True
+    retry_timeout: float = 60.0
+    pipeline_local_ordering: bool = False
+
+    def with_engine(self, engine: str) -> "HamavaConfig":
+        """A copy of this configuration using a different ordering engine."""
+        return replace(self, engine=engine)
+
+    def with_timeouts(
+        self,
+        remote_timeout: Optional[float] = None,
+        instance_timeout: Optional[float] = None,
+        brd_timeout: Optional[float] = None,
+    ) -> "HamavaConfig":
+        """A copy with adjusted fault-detection timeouts (used by benches)."""
+        consensus = self.consensus
+        if instance_timeout is not None:
+            consensus = ConsensusConfig(
+                instance_timeout=instance_timeout,
+                payload_byte_size=consensus.payload_byte_size,
+            )
+        return replace(
+            self,
+            remote_timeout=remote_timeout if remote_timeout is not None else self.remote_timeout,
+            brd_timeout=brd_timeout if brd_timeout is not None else self.brd_timeout,
+            consensus=consensus,
+        )
+
+
+__all__ = ["ClusterSpec", "HamavaConfig", "SystemConfig", "failure_threshold"]

@@ -1,0 +1,298 @@
+"""Hamava protocol messages (inter-cluster, leader change, reconfiguration).
+
+Message names follow the paper: ``Inter`` / ``Local`` for stage 2,
+``LComplaint`` / ``RComplaint`` / ``Complaint`` for the heterogeneous remote
+leader change, ``RequestJoin`` / ``RequestLeave`` / ``Ack`` / ``CurrState``
+for reconfiguration, and the BRD messages ``Recs`` (submit), ``Agg``,
+``Echo``, ``Ready``, ``Valid``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.types import OperationsBundle, ReconfigRequest, Transaction
+from repro.net.crypto import Certificate, Signature
+from repro.net.message import Message
+
+
+# ---------------------------------------------------------------------- #
+# Client <-> replica
+# ---------------------------------------------------------------------- #
+@dataclass
+class ClientRequest(Message):
+    """A client submits one transaction to a replica."""
+
+    transaction: Transaction
+
+    def estimated_size(self) -> int:
+        return 128 + self.transaction.size_bytes
+
+
+@dataclass
+class ClientResponse(Message):
+    """A replica's response for one executed (or locally served) transaction."""
+
+    txn_id: str
+    value: Optional[str] = None
+    committed_round: int = 0
+
+    def estimated_size(self) -> int:
+        return 192
+
+
+# ---------------------------------------------------------------------- #
+# Stage 2: inter-cluster communication (Alg. 1)
+# ---------------------------------------------------------------------- #
+@dataclass
+class Inter(Message):
+    """Leader-to-remote-replicas shipment of a cluster's round operations."""
+
+    round_number: int
+    cluster_id: int
+    bundle: OperationsBundle
+
+    def estimated_size(self) -> int:
+        return self.bundle.size_bytes()
+
+    def verification_cost(self) -> int:
+        cost = 1
+        for cert in (self.bundle.txn_certificate, self.bundle.recs_ready_certificate):
+            if cert is not None:
+                cost += len(cert)
+        return cost
+
+
+@dataclass
+class LocalShare(Message):
+    """Local re-broadcast of a remote cluster's operations ("Local" in Alg. 1)."""
+
+    round_number: int
+    cluster_id: int
+    bundle: OperationsBundle
+
+    def estimated_size(self) -> int:
+        return self.bundle.size_bytes()
+
+    def verification_cost(self) -> int:
+        cost = 1
+        for cert in (self.bundle.txn_certificate, self.bundle.recs_ready_certificate):
+            if cert is not None:
+                cost += len(cert)
+        return cost
+
+
+# ---------------------------------------------------------------------- #
+# Heterogeneous remote leader change (Alg. 2)
+# ---------------------------------------------------------------------- #
+@dataclass
+class LComplaint(Message):
+    """Local complaint about a remote cluster's leader."""
+
+    target_cluster: int
+    complaint_number: int
+    round_number: int
+    origin_cluster: int
+
+
+@dataclass
+class RComplaint(Message):
+    """Remote complaint carrying a local quorum of LComplaint signatures."""
+
+    complaint_number: int
+    complaining_cluster: int
+    signatures: Tuple[Signature, ...]
+    round_number: int
+
+    def estimated_size(self) -> int:
+        return 192 + 96 * len(self.signatures)
+
+    def verification_cost(self) -> int:
+        return max(1, len(self.signatures))
+
+
+@dataclass
+class ClusterComplaint(Message):
+    """Local broadcast of an accepted remote complaint ("Complaint" in Alg. 2)."""
+
+    complaint_number: int
+    complaining_cluster: int
+    signatures: Tuple[Signature, ...]
+    round_number: int
+
+    def estimated_size(self) -> int:
+        return 192 + 96 * len(self.signatures)
+
+    def verification_cost(self) -> int:
+        return max(1, len(self.signatures))
+
+
+# ---------------------------------------------------------------------- #
+# Reconfiguration collection (Alg. 3) and kick-start (Alg. 10)
+# ---------------------------------------------------------------------- #
+@dataclass
+class RequestJoin(Message):
+    """A process asks to join a cluster."""
+
+    cluster_id: int
+    round_number: int
+    region: str = ""
+
+
+@dataclass
+class RequestLeave(Message):
+    """A replica asks to leave its cluster."""
+
+    cluster_id: int
+    round_number: int
+
+
+@dataclass
+class ReconfigAck(Message):
+    """Acknowledgement that a replica stored a join/leave request."""
+
+    cluster_id: int
+    round_number: int
+    members: Tuple[str, ...] = ()
+
+
+@dataclass
+class CurrState(Message):
+    """State transfer sent to a joining replica during kick-start."""
+
+    cluster_id: int
+    round_number: int
+    members: Tuple[str, ...]
+    state_snapshot: Dict[str, str] = field(default_factory=dict)
+    system_view: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    leader: str = ""
+    leader_ts: int = 0
+
+    def estimated_size(self) -> int:
+        return 512 + 64 * len(self.state_snapshot) + 48 * sum(
+            len(members) for members in self.system_view.values()
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Byzantine Reliable Dissemination (Alg. 5/6)
+# ---------------------------------------------------------------------- #
+@dataclass
+class BrdSubmit(Message):
+    """A replica's collected reconfiguration set, sent to the BRD leader."""
+
+    cluster_id: int
+    round_number: int
+    view_ts: int
+    recs: Tuple[ReconfigRequest, ...]
+    signature: Optional[Signature] = None
+
+    def estimated_size(self) -> int:
+        return 192 + 128 * len(self.recs)
+
+
+@dataclass
+class BrdAgg(Message):
+    """The BRD leader's aggregation of a quorum of submitted sets."""
+
+    cluster_id: int
+    round_number: int
+    view_ts: int
+    recs: Tuple[ReconfigRequest, ...]
+    collection_certificate: Certificate = field(default_factory=lambda: Certificate(""))
+    attestation_kind: str = "collection"  # "collection", "echo", or "ready"
+
+    def estimated_size(self) -> int:
+        return 256 + 128 * len(self.recs) + 96 * len(self.collection_certificate)
+
+    def verification_cost(self) -> int:
+        return max(1, len(self.collection_certificate))
+
+
+@dataclass
+class BrdEcho(Message):
+    """Echo of an accepted aggregation."""
+
+    cluster_id: int
+    round_number: int
+    view_ts: int
+    recs: Tuple[ReconfigRequest, ...]
+    echo_signature: Optional[Signature] = None
+
+    def estimated_size(self) -> int:
+        return 224 + 128 * len(self.recs)
+
+
+@dataclass
+class BrdReady(Message):
+    """Ready vote: the sender saw a quorum of echoes (or f+1 readies)."""
+
+    cluster_id: int
+    round_number: int
+    view_ts: int
+    recs: Tuple[ReconfigRequest, ...]
+    ready_signature: Optional[Signature] = None
+
+    def estimated_size(self) -> int:
+        return 224 + 128 * len(self.recs)
+
+
+@dataclass
+class BrdValid(Message):
+    """A replica's stored valid set, forwarded to a new BRD leader."""
+
+    cluster_id: int
+    round_number: int
+    view_ts: int
+    recs: Tuple[ReconfigRequest, ...]
+    certificate: Certificate = field(default_factory=lambda: Certificate(""))
+    certificate_kind: str = "echo"  # "echo" or "ready"
+    valid_ts: int = 0
+
+    def estimated_size(self) -> int:
+        return 256 + 128 * len(self.recs) + 96 * len(self.certificate)
+
+    def verification_cost(self) -> int:
+        return max(1, len(self.certificate))
+
+
+#: All payload types handled by the Hamava replica itself (not the engines).
+CORE_MESSAGE_TYPES = (
+    ClientRequest,
+    ClientResponse,
+    Inter,
+    LocalShare,
+    LComplaint,
+    RComplaint,
+    ClusterComplaint,
+    RequestJoin,
+    RequestLeave,
+    ReconfigAck,
+    CurrState,
+    BrdSubmit,
+    BrdAgg,
+    BrdEcho,
+    BrdReady,
+    BrdValid,
+)
+
+__all__ = [
+    "BrdAgg",
+    "BrdEcho",
+    "BrdReady",
+    "BrdSubmit",
+    "BrdValid",
+    "ClientRequest",
+    "ClientResponse",
+    "ClusterComplaint",
+    "CORE_MESSAGE_TYPES",
+    "CurrState",
+    "Inter",
+    "LComplaint",
+    "LocalShare",
+    "RComplaint",
+    "ReconfigAck",
+    "RequestJoin",
+    "RequestLeave",
+]

@@ -1,0 +1,144 @@
+"""Reconfiguration collection (paper Alg. 3).
+
+Collection is the replica-side half of reconfiguration: when a process wants
+to join (or a member wants to leave) it broadcasts ``RequestJoin`` /
+``RequestLeave`` in the target cluster; every correct replica stores the
+request in its ``recs`` set and acknowledges.  The requester keeps
+re-broadcasting until a quorum acknowledges, at which point the request can
+no longer be censored: any quorum the BRD leader later aggregates from
+intersects the storing quorum in a correct replica.
+
+The dissemination half (Alg. 4) is a thin wrapper around BRD and lives in
+the replica: each round, the replica submits its collected set to a
+per-round :class:`~repro.core.brd.ByzantineReliableDissemination` instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.messages import ReconfigAck, RequestJoin, RequestLeave
+from repro.core.types import ReconfigRequest, join_request, leave_request
+from repro.net.links import AuthenticatedPerfectLink
+from repro.net.message import Envelope
+from repro.net.network import Network
+
+
+class ReconfigurationCollector:
+    """Stores pending reconfiguration requests at one replica.
+
+    Args:
+        owner: Replica id.
+        cluster_id: The local cluster.
+        network: Simulated network (used to send acknowledgements).
+        members_fn: Callable returning current local membership (included in
+            the acknowledgement so requesters can detect configuration skew).
+        round_fn: Callable returning the current round.
+    """
+
+    MESSAGE_TYPES = (RequestJoin, RequestLeave)
+
+    def __init__(
+        self,
+        owner: str,
+        cluster_id: int,
+        network: Network,
+        members_fn: Callable[[], List[str]],
+        round_fn: Callable[[], int],
+    ) -> None:
+        self.owner = owner
+        self.cluster_id = cluster_id
+        self.network = network
+        self.members_fn = members_fn
+        self.round_fn = round_fn
+        self.apl = AuthenticatedPerfectLink(owner, network)
+        self._recs: Set[ReconfigRequest] = set()
+        #: Requests already applied by execution; never re-collected.
+        self._applied: Set[ReconfigRequest] = set()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def current_recs(self) -> Tuple[ReconfigRequest, ...]:
+        """The set of pending (not yet applied) reconfiguration requests."""
+        return tuple(sorted(self._recs))
+
+    def pending_count(self) -> int:
+        """Number of pending requests."""
+        return len(self._recs)
+
+    # ------------------------------------------------------------------ #
+    # Local additions
+    # ------------------------------------------------------------------ #
+    def add(self, request: ReconfigRequest) -> None:
+        """Store a request locally (used for the replica's own leave request)."""
+        if request not in self._applied:
+            self._recs.add(request)
+
+    def mark_applied(self, requests: Iterable[ReconfigRequest]) -> None:
+        """Drop executed requests from the pending set (Alg. 10, line 36)."""
+        for request in requests:
+            self._applied.add(request)
+            self._recs.discard(request)
+
+    # ------------------------------------------------------------------ #
+    # Message handling (Alg. 3, lines 16-21)
+    # ------------------------------------------------------------------ #
+    def on_message(self, sender: str, envelope: Envelope) -> bool:
+        """Consume a join/leave request addressed to this cluster."""
+        payload = envelope.payload
+        if isinstance(payload, RequestJoin):
+            if payload.cluster_id != self.cluster_id:
+                return True
+            self.add(join_request(sender, self.cluster_id, payload.region))
+            self._ack(sender)
+            return True
+        if isinstance(payload, RequestLeave):
+            if payload.cluster_id != self.cluster_id:
+                return True
+            self.add(leave_request(sender, self.cluster_id))
+            self._ack(sender)
+            return True
+        return False
+
+    def _ack(self, requester: str) -> None:
+        self.apl.send(
+            requester,
+            ReconfigAck(
+                cluster_id=self.cluster_id,
+                round_number=self.round_fn(),
+                members=tuple(sorted(self.members_fn())),
+            ),
+        )
+
+
+class RequestTracker:
+    """Requester-side state of Alg. 3: retry until a quorum acknowledges.
+
+    Used by joining processes and by leaving replicas.  The owner process
+    drives it: it calls :meth:`record_ack` on every acknowledgement and
+    :meth:`should_retry` from its retry timer.
+    """
+
+    def __init__(self, quorum_fn: Callable[[], int]) -> None:
+        self.quorum_fn = quorum_fn
+        self._ackers: Set[str] = set()
+        self.satisfied = False
+
+    def record_ack(self, sender: str) -> bool:
+        """Record an acknowledgement; returns True once a quorum acked."""
+        self._ackers.add(sender)
+        if len(self._ackers) >= self.quorum_fn():
+            self.satisfied = True
+        return self.satisfied
+
+    def ack_count(self) -> int:
+        """Number of distinct acknowledgers so far."""
+        return len(self._ackers)
+
+    def should_retry(self) -> bool:
+        """Whether the requester should re-broadcast its request."""
+        return not self.satisfied
+
+
+__all__ = ["ReconfigurationCollector", "RequestTracker"]

@@ -1,0 +1,180 @@
+"""Core value types: transactions, reconfiguration requests, and bundles.
+
+These are the "operations" of the paper: clients submit *transactions*
+(key-value reads and writes) and *reconfigurations* (join/leave).  A round's
+worth of operations from one cluster travels between clusters as an
+:class:`OperationsBundle` together with the certificates that prove the
+transactions were ordered by the cluster's consensus and the reconfiguration
+set was uniformly disseminated.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.crypto import Certificate
+
+_txn_counter = itertools.count()
+
+#: Operation kinds a transaction may carry.
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A client key-value operation.
+
+    Attributes:
+        txn_id: Globally unique identifier (client id + sequence number).
+        client_id: The submitting client.
+        origin_replica: Replica the client submitted the request to; that
+            replica issues the response when the transaction executes.
+        op: ``"read"`` or ``"write"``.
+        key: Key operated on.
+        value: Value written (``None`` for reads).
+        submitted_at: Virtual time the client issued the request.
+        size_bytes: Approximate payload size (the paper uses 1 KB operations).
+    """
+
+    txn_id: str
+    client_id: str
+    origin_replica: str
+    op: str
+    key: str
+    value: Optional[str] = None
+    submitted_at: float = 0.0
+    size_bytes: int = 1024
+
+    @property
+    def is_read(self) -> bool:
+        """Whether this is a read-only operation."""
+        return self.op == READ
+
+
+def make_transaction(
+    client_id: str,
+    origin_replica: str,
+    op: str,
+    key: str,
+    value: Optional[str] = None,
+    submitted_at: float = 0.0,
+    size_bytes: int = 1024,
+) -> Transaction:
+    """Create a transaction with a fresh globally-unique id."""
+    return Transaction(
+        txn_id=f"{client_id}:{next(_txn_counter)}",
+        client_id=client_id,
+        origin_replica=origin_replica,
+        op=op,
+        key=key,
+        value=value,
+        submitted_at=submitted_at,
+        size_bytes=size_bytes,
+    )
+
+
+@dataclass(frozen=True, order=True)
+class ReconfigRequest:
+    """A join or leave request for one process and one cluster.
+
+    The request is the unit the collection/dissemination protocol (Alg. 3/4)
+    gathers into per-round sets, so it is frozen and orderable.
+    """
+
+    kind: str  # "join" or "leave"
+    process_id: str
+    cluster_id: int
+    region: str = ""
+
+    @property
+    def is_join(self) -> bool:
+        """Whether this is a join request."""
+        return self.kind == "join"
+
+    @property
+    def is_leave(self) -> bool:
+        """Whether this is a leave request."""
+        return self.kind == "leave"
+
+
+def join_request(process_id: str, cluster_id: int, region: str = "") -> ReconfigRequest:
+    """Build a join request."""
+    return ReconfigRequest(kind="join", process_id=process_id, cluster_id=cluster_id, region=region)
+
+
+def leave_request(process_id: str, cluster_id: int) -> ReconfigRequest:
+    """Build a leave request."""
+    return ReconfigRequest(kind="leave", process_id=process_id, cluster_id=cluster_id)
+
+
+@dataclass
+class OperationsBundle:
+    """Everything a cluster decided in one round, plus the proofs.
+
+    Attributes:
+        cluster_id: The producing cluster.
+        round_number: The round the bundle belongs to.
+        transactions: The ordered transaction batch.
+        reconfigs: The uniformly disseminated reconfiguration set.
+        txn_certificate: ``2f+1`` commit signatures over the batch digest
+            (produced by the local ordering engine).
+        recs_collection_certificate: BRD's Σ — signatures showing the set was
+            collected from a quorum of replicas.
+        recs_ready_certificate: BRD's Σ' — ``2f+1`` Ready signatures showing
+            every correct replica will deliver the same set.
+    """
+
+    cluster_id: int
+    round_number: int
+    transactions: List[Transaction] = field(default_factory=list)
+    reconfigs: Tuple[ReconfigRequest, ...] = ()
+    txn_certificate: Optional[Certificate] = None
+    recs_collection_certificate: Optional[Certificate] = None
+    recs_ready_certificate: Optional[Certificate] = None
+
+    def operation_count(self) -> int:
+        """Number of operations (transactions + reconfigurations)."""
+        return len(self.transactions) + len(self.reconfigs)
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size of the bundle."""
+        txn_bytes = sum(t.size_bytes for t in self.transactions)
+        cert_bytes = 0
+        for cert in (
+            self.txn_certificate,
+            self.recs_collection_certificate,
+            self.recs_ready_certificate,
+        ):
+            if cert is not None:
+                cert_bytes += 96 * len(cert)
+        return 256 + txn_bytes + 128 * len(self.reconfigs) + cert_bytes
+
+
+def merge_reconfigs(sets: Iterable[Iterable[ReconfigRequest]]) -> Tuple[ReconfigRequest, ...]:
+    """Union several reconfiguration sets into a canonical sorted tuple."""
+    merged = set()
+    for requests in sets:
+        merged.update(requests)
+    return tuple(sorted(merged))
+
+
+def cluster_order(operations: Dict[int, OperationsBundle]) -> List[int]:
+    """The predefined cluster order used by stage 3 (ascending cluster id)."""
+    return sorted(operations)
+
+
+__all__ = [
+    "OperationsBundle",
+    "READ",
+    "ReconfigRequest",
+    "Transaction",
+    "WRITE",
+    "cluster_order",
+    "join_request",
+    "leave_request",
+    "make_transaction",
+    "merge_reconfigs",
+]

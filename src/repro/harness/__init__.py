@@ -1,0 +1,13 @@
+"""Experiment harness: deployments, metrics, fault injection, experiments.
+
+The harness assembles simulator + network + replicas + clients into a
+runnable deployment, collects the metrics the paper reports (throughput,
+latency, per-stage breakdown, throughput time series), and provides runners
+for every experiment in the paper's evaluation (E0–E8).
+"""
+
+from repro.harness.deployment import Deployment, DeploymentSpec
+from repro.harness.faults import FaultInjector
+from repro.harness.metrics import MetricsCollector
+
+__all__ = ["Deployment", "DeploymentSpec", "FaultInjector", "MetricsCollector"]

@@ -1,0 +1,238 @@
+"""Deployment builder: wires simulator, network, replicas, and clients.
+
+A :class:`Deployment` corresponds to one experimental data point in the
+paper: a set of clusters (with sizes and regions), a protocol configuration,
+one workload client per cluster, and optional fault/churn schedules.  After
+``run()`` the attached :class:`~repro.harness.metrics.MetricsCollector`
+answers the questions the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.core.config import HamavaConfig, SystemConfig
+from repro.core.replica import MODE_IDLE, ByzantineBehavior, HamavaReplica
+from repro.errors import ConfigurationError
+from repro.harness.metrics import MetricsCollector
+from repro.net.crypto import KeyRegistry
+from repro.net.latency import LatencyModel, LatencyParameters
+from repro.net.network import Network, NetworkConfig
+from repro.sim.simulator import Simulator
+from repro.workload.clients import ReconfigurationClient, WorkloadClient
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+
+
+@dataclass
+class DeploymentSpec:
+    """Everything needed to build one deployment.
+
+    Attributes:
+        clusters: ``[(size, region), ...]`` — one entry per cluster.
+        config: Protocol configuration (engine, batch size, timeouts, ...).
+        seed: Scenario seed; same seed ⇒ same schedule.
+        client_threads: Closed-loop threads per workload client (per cluster).
+        workload: YCSB parameters.
+        latency: Latency-model constants.
+        network: Network processing-cost constants.
+        clients_per_cluster: Number of workload clients per cluster.
+        replica_class: Replica implementation (Hamava or a baseline).
+        region_overrides: Optional per-replica region placement, used by the
+            non-clustered baseline whose single "cluster" spans regions.
+    """
+
+    clusters: Sequence[Tuple[int, str]]
+    config: HamavaConfig = field(default_factory=HamavaConfig)
+    seed: int = 1
+    client_threads: int = 16
+    workload: YcsbConfig = field(default_factory=YcsbConfig)
+    latency: LatencyParameters = field(default_factory=LatencyParameters)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    clients_per_cluster: int = 1
+    replica_class: Type[HamavaReplica] = HamavaReplica
+    region_overrides: Dict[str, str] = field(default_factory=dict)
+
+
+class Deployment:
+    """A runnable simulated deployment of the replicated system."""
+
+    def __init__(self, spec: DeploymentSpec) -> None:
+        self.spec = spec
+        self.simulator = Simulator(seed=spec.seed)
+        self.registry = KeyRegistry(seed=spec.seed)
+        self.latency_model = LatencyModel(self.simulator.rng, spec.latency)
+        self.network = Network(self.simulator, self.latency_model, self.registry, spec.network)
+        self.metrics = MetricsCollector()
+        self.system_config = SystemConfig.build(spec.clusters)
+        self.replicas: Dict[str, HamavaReplica] = {}
+        self.clients: List[WorkloadClient] = []
+        self.reconfig_clients: List[ReconfigurationClient] = []
+        self._joiner_count = 0
+        self._started = False
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        spec = self.spec
+        for cluster_id in self.system_config.cluster_ids():
+            members = self.system_config.members(cluster_id)
+            for index, replica_id in enumerate(members):
+                replica = spec.replica_class(
+                    replica_id=replica_id,
+                    cluster_id=cluster_id,
+                    system_config=self.system_config,
+                    network=self.network,
+                    simulator=self.simulator,
+                    config=spec.config,
+                    metrics=self.metrics,
+                )
+                replica.is_reporter = index == 0
+                region = spec.region_overrides.get(replica_id)
+                if region is not None:
+                    self.latency_model.place(replica_id, region)
+                self.replicas[replica_id] = replica
+            for client_index in range(spec.clients_per_cluster):
+                self._build_client(cluster_id, client_index)
+
+    def _build_client(self, cluster_id: int, client_index: int) -> None:
+        spec = self.spec
+        client_id = f"client{cluster_id}.{client_index}"
+        workload = YcsbWorkload(spec.workload, self.simulator.rng.child(f"workload/{client_id}"))
+        client = WorkloadClient(
+            client_id=client_id,
+            simulator=self.simulator,
+            network=self.network,
+            workload=workload,
+            target_replicas=self.system_config.members(cluster_id),
+            threads=spec.client_threads,
+            metrics=self.metrics,
+            retry_timeout=spec.config.retry_timeout,
+        )
+        self.network.register(client, self.system_config.region_of_cluster(cluster_id))
+        self.clients.append(client)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start all replicas and clients (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for replica in self.replicas.values():
+            replica.start()
+        for client in self.clients:
+            client.start()
+        for churn in self.reconfig_clients:
+            churn.start()
+
+    def run(self, duration: float, warmup: float = 0.0) -> MetricsCollector:
+        """Run the deployment for ``duration`` virtual seconds.
+
+        Args:
+            duration: Total virtual time to simulate.
+            warmup: Completions before this time are excluded from metrics
+                queries (the paper reports the last minute of 3-minute runs).
+        """
+        self.start()
+        self.simulator.run_for(duration)
+        self.metrics.set_window(warmup, self.simulator.now)
+        return self.metrics
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def replica(self, replica_id: str) -> HamavaReplica:
+        """Look up a replica by id."""
+        if replica_id not in self.replicas:
+            raise ConfigurationError(f"unknown replica {replica_id!r}")
+        return self.replicas[replica_id]
+
+    def cluster_replicas(self, cluster_id: int) -> List[HamavaReplica]:
+        """All replicas that consider themselves members of a cluster."""
+        return [
+            replica
+            for replica in self.replicas.values()
+            if replica.cluster_id == cluster_id and replica.mode != MODE_IDLE
+        ]
+
+    def leader_of(self, cluster_id: int) -> HamavaReplica:
+        """The current leader of a cluster, as seen by its first member."""
+        members = sorted(self.system_config.members(cluster_id))
+        reporter = self.replicas[members[0]]
+        return self.replicas[reporter.leader]
+
+    def active_view(self, cluster_id: int) -> set:
+        """The membership view of a cluster held by its reporter replica."""
+        members = sorted(self.system_config.members(cluster_id))
+        return set(self.replicas[members[0]].view[cluster_id])
+
+    # ------------------------------------------------------------------ #
+    # Churn scheduling
+    # ------------------------------------------------------------------ #
+    def add_joiner(
+        self,
+        cluster_id: int,
+        at_time: float,
+        replica_id: Optional[str] = None,
+        region: Optional[str] = None,
+    ) -> HamavaReplica:
+        """Create an idle replica that will request to join ``cluster_id``.
+
+        Returns the new replica so callers can inspect it after the run.
+        """
+        self._joiner_count += 1
+        replica_id = replica_id or f"joiner{self._joiner_count}"
+        replica = self.spec.replica_class(
+            replica_id=replica_id,
+            cluster_id=cluster_id,
+            system_config=self.system_config,
+            network=self.network,
+            simulator=self.simulator,
+            config=self.spec.config,
+            metrics=self.metrics,
+            mode=MODE_IDLE,
+        )
+        if region is not None:
+            self.latency_model.place(replica_id, region)
+        self.replicas[replica_id] = replica
+        replica.start()
+        self.simulator.schedule_at(
+            at_time,
+            lambda r=replica, cid=cluster_id: r.request_join(cid),
+            label=f"join:{replica_id}",
+        )
+        return replica
+
+    def schedule_leave(self, replica_id: str, at_time: float) -> None:
+        """Schedule an existing replica's leave request."""
+        replica = self.replica(replica_id)
+        self.simulator.schedule_at(
+            at_time, replica.request_leave, label=f"leave:{replica_id}"
+        )
+
+    def add_reconfig_client(self, client: ReconfigurationClient) -> None:
+        """Attach a churn client (E7/E8 style schedules)."""
+        self.network.register(client, "us-west1")
+        self.reconfig_clients.append(client)
+        if self._started:
+            client.start()
+
+
+def build_deployment(
+    clusters: Sequence[Tuple[int, str]],
+    engine: str = "hotstuff",
+    seed: int = 1,
+    config: Optional[HamavaConfig] = None,
+    **spec_kwargs,
+) -> Deployment:
+    """Convenience constructor used by examples and benchmarks."""
+    config = (config or HamavaConfig()).with_engine(engine)
+    spec = DeploymentSpec(clusters=clusters, config=config, seed=seed, **spec_kwargs)
+    return Deployment(spec)
+
+
+__all__ = ["Deployment", "DeploymentSpec", "build_deployment"]

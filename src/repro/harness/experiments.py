@@ -1,0 +1,602 @@
+"""Runners for every experiment in the paper's evaluation (E0–E8, Tables I/II).
+
+Each ``run_*`` function builds the deployments for one figure/table, runs
+them on the simulator, and returns a list of result rows (dictionaries) that
+mirror the series the paper plots.  The benchmark suite and the examples are
+thin wrappers around these runners.
+
+Scale notes: the paper runs 96-node deployments for three minutes of wall
+time on Google Cloud.  The runners default to smaller node counts and a few
+seconds of *virtual* time so the whole suite completes quickly; pass
+``total_nodes``/``duration`` explicitly (or set the ``REPRO_FULL_SCALE``
+environment variable) to run at paper scale.  Shapes — who wins, how curves
+trend — are preserved at the reduced scale; absolute numbers are not
+comparable to the paper's testbed either way.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.complexity import complexity_table
+from repro.baselines.geobft import build_geobft_deployment
+from repro.baselines.single_workflow import build_single_workflow_deployment
+from repro.core.config import HamavaConfig
+from repro.harness.deployment import Deployment, DeploymentSpec, build_deployment
+from repro.harness.faults import FaultInjector
+from repro.net.latency import paper_rtt_matrix
+from repro.workload.clients import ReconfigurationClient
+
+#: Region rotation used when spreading clusters across the paper's 3 regions.
+PAPER_REGIONS = ("us-west1", "europe-west3", "asia-south1")
+
+Row = Dict[str, object]
+
+
+def full_scale() -> bool:
+    """Whether paper-scale parameters were requested via the environment."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false", "False")
+
+
+def default_duration(fallback: float) -> float:
+    """Simulated seconds per data point (env override: ``REPRO_DURATION``)."""
+    value = os.environ.get("REPRO_DURATION")
+    if value:
+        return float(value)
+    return 180.0 if full_scale() else fallback
+
+
+def default_nodes(fallback: int) -> int:
+    """Total nodes for the cluster-sweep experiments."""
+    value = os.environ.get("REPRO_TOTAL_NODES")
+    if value:
+        return int(value)
+    return 96 if full_scale() else fallback
+
+
+def print_rows(rows: Sequence[Row], title: str = "") -> None:
+    """Print result rows as an aligned text table."""
+    if title:
+        print(f"\n== {title} ==")
+    if not rows:
+        print("(no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    print("  ".join(str(c).ljust(widths[c]) for c in columns))
+    for row in rows:
+        print("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _fast_config(engine: str) -> HamavaConfig:
+    """A configuration with fault-detection timeouts sized for short runs."""
+    config = HamavaConfig().with_engine(engine).with_timeouts(
+        remote_timeout=5.0, instance_timeout=5.0, brd_timeout=5.0
+    )
+    # Clients must fail over quickly when churn or faults remove the replica
+    # they were talking to; the paper's 3-minute runs can afford long client
+    # retries, seconds-long simulations cannot.
+    config.retry_timeout = 2.0
+    return config
+
+
+def _split_nodes(total: int, clusters: int) -> List[int]:
+    """Split ``total`` nodes into ``clusters`` groups as evenly as possible."""
+    base = total // clusters
+    remainder = total % clusters
+    return [base + (1 if index < remainder else 0) for index in range(clusters)]
+
+
+def _measure(deployment: Deployment, duration: float, warmup: float) -> Dict[str, float]:
+    metrics = deployment.run(duration=duration, warmup=warmup)
+    return metrics.summary()
+
+
+# ---------------------------------------------------------------------- #
+# Tables I and II
+# ---------------------------------------------------------------------- #
+def run_table1(z: int = 4, n: int = 24) -> List[Row]:
+    """Table I: best-case complexity of the protocols."""
+    return [dict(row) for row in complexity_table(z=z, n=n)]
+
+
+def run_table2() -> List[Row]:
+    """Table II: inter-region round-trip latency matrix."""
+    matrix = paper_rtt_matrix()
+    rows: List[Row] = []
+    for origin, destinations in matrix.items():
+        row: Row = {"region": origin}
+        row.update(destinations)
+        rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E0 / E1: throughput and latency vs number of clusters
+# ---------------------------------------------------------------------- #
+def run_cluster_sweep(
+    engines: Sequence[str] = ("hotstuff", "bftsmart"),
+    cluster_counts: Sequence[int] = (2, 3, 4, 6, 8, 12),
+    total_nodes: Optional[int] = None,
+    multi_region: bool = False,
+    duration: Optional[float] = None,
+    warmup: float = 0.5,
+    client_threads: int = 24,
+    seed: int = 1,
+) -> List[Row]:
+    """Shared sweep behind E0 (single region) and E1 (three regions)."""
+    total_nodes = total_nodes if total_nodes is not None else default_nodes(48)
+    duration = duration if duration is not None else default_duration(2.5)
+    rows: List[Row] = []
+    for engine in engines:
+        for clusters in cluster_counts:
+            sizes = _split_nodes(total_nodes, clusters)
+            if multi_region:
+                specs = [(size, PAPER_REGIONS[index % len(PAPER_REGIONS)]) for index, size in enumerate(sizes)]
+            else:
+                specs = [(size, "us-west1") for size in sizes]
+            deployment = build_deployment(
+                specs,
+                engine=engine,
+                seed=seed,
+                config=_fast_config(engine),
+                client_threads=client_threads,
+            )
+            summary = _measure(deployment, duration, warmup)
+            rows.append(
+                {
+                    "engine": engine,
+                    "clusters": clusters,
+                    "nodes": total_nodes,
+                    "regions": 3 if multi_region else 1,
+                    "throughput": summary["throughput_total"],
+                    "latency_mean": summary["latency_mean"],
+                    "latency_write": summary["latency_mean_write"],
+                    "rounds": summary["rounds"],
+                }
+            )
+    return rows
+
+
+def run_e0(**kwargs) -> List[Row]:
+    """E0: multi-cluster, single region (Fig. 3 left)."""
+    kwargs.setdefault("multi_region", False)
+    return run_cluster_sweep(**kwargs)
+
+
+def run_e1(**kwargs) -> List[Row]:
+    """E1: multi-cluster, three regions (Fig. 3 right)."""
+    kwargs.setdefault("multi_region", True)
+    return run_cluster_sweep(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# E2: latency breakdown per stage
+# ---------------------------------------------------------------------- #
+def run_e2(
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    warmup: float = 0.5,
+    client_threads: int = 12,
+    seed: int = 2,
+) -> List[Row]:
+    """E2: per-stage latency breakdown for 3 clusters of 4 nodes (Fig. 4a)."""
+    duration = duration if duration is not None else default_duration(3.0)
+    setups = {
+        "1 region": ["asia-south1", "asia-south1", "asia-south1"],
+        "2 regions": ["europe-west3", "asia-south1", "asia-south1"],
+        "3 regions": ["europe-west3", "asia-south1", "us-west1"],
+    }
+    rows: List[Row] = []
+    for label, regions in setups.items():
+        deployment = build_deployment(
+            [(4, region) for region in regions],
+            engine=engine,
+            seed=seed,
+            config=_fast_config(engine),
+            client_threads=client_threads,
+        )
+        metrics = deployment.run(duration=duration, warmup=warmup)
+        breakdown = metrics.stage_breakdown()
+        rows.append(
+            {
+                "setup": label,
+                "engine": engine,
+                "intra_cluster_ms": breakdown["stage1"] * 1000,
+                "inter_cluster_ms": breakdown["stage2"] * 1000,
+                "execution_ms": breakdown["stage3"] * 1000,
+                "read_latency_ms": metrics.mean_latency(op="read") * 1000,
+                "write_latency_ms": metrics.mean_latency(op="write") * 1000,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E3: heterogeneity setups
+# ---------------------------------------------------------------------- #
+def heterogeneity_setups(scale: int) -> Dict[str, Tuple[List[Tuple[int, str]], Dict[str, str]]]:
+    """The paper's three E3 setups at a given scale factor.
+
+    There are ``9·s`` nodes in Asia and ``5·s`` in EU.  Setup 1 (homogeneous
+    clusters) is forced to build two equal clusters, so one cluster spans the
+    two regions (``2s`` Asia + ``5s`` EU members).  Setup 2 (heterogeneous)
+    aligns clusters with regions.  Setup 3 further splits the large Asian
+    group into two co-located clusters.
+
+    Returns ``{setup_name: (cluster_specs, region_overrides)}``.
+    """
+    asia = "asia-south1"
+    europe = "europe-west3"
+    setup1_specs = [(7 * scale, asia), (7 * scale, europe)]
+    # Setup 1's second cluster has 2·s members in Asia and 5·s in EU.
+    setup1_overrides = {f"c1/r{i}": asia for i in range(2 * scale)}
+    return {
+        "setup1": (setup1_specs, setup1_overrides),
+        "setup2": ([(9 * scale, asia), (5 * scale, europe)], {}),
+        "setup3": ([(5 * scale, asia), (4 * scale, asia), (5 * scale, europe)], {}),
+    }
+
+
+def run_e3(
+    engines: Sequence[str] = ("hotstuff", "bftsmart"),
+    scales: Sequence[int] = (1, 2, 3),
+    duration: Optional[float] = None,
+    warmup: float = 0.5,
+    client_threads: int = 16,
+    seed: int = 3,
+) -> List[Row]:
+    """E3: impact of heterogeneity on throughput and latency (Fig. 4b–4e)."""
+    duration = duration if duration is not None else default_duration(2.5)
+    rows: List[Row] = []
+    for engine in engines:
+        for scale in scales:
+            for setup_name, (clusters, overrides) in heterogeneity_setups(scale).items():
+                spec = DeploymentSpec(
+                    clusters=clusters,
+                    config=_fast_config(engine),
+                    seed=seed,
+                    client_threads=client_threads,
+                    region_overrides=overrides,
+                )
+                deployment = Deployment(spec)
+                summary = _measure(deployment, duration, warmup)
+                rows.append(
+                    {
+                        "engine": engine,
+                        "scale": scale,
+                        "setup": setup_name,
+                        "throughput": summary["throughput_total"],
+                        "latency_mean": summary["latency_mean"],
+                        "latency_write": summary["latency_mean_write"],
+                    }
+                )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E4: failures
+# ---------------------------------------------------------------------- #
+def _failure_deployment(engine: str, seed: int, client_threads: int, nodes_per_cluster: int = 10) -> Deployment:
+    config = HamavaConfig().with_engine(engine).with_timeouts(
+        remote_timeout=3.0, instance_timeout=3.0, brd_timeout=3.0
+    )
+    config.retry_timeout = 3.0
+    return build_deployment(
+        [(nodes_per_cluster, "us-west1"), (nodes_per_cluster, "us-west1")],
+        engine=engine,
+        seed=seed,
+        config=config,
+        client_threads=client_threads,
+    )
+
+
+def run_e4(
+    scenario: str,
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    fault_time: float = 4.0,
+    client_threads: int = 16,
+    seed: int = 4,
+    nodes_per_cluster: int = 10,
+) -> List[Row]:
+    """E4: throughput over time under failures (Fig. 4f/4g/4h).
+
+    Args:
+        scenario: ``"non_leader"`` (E4.1), ``"leader"`` (E4.2), or
+            ``"byzantine_leader"`` (E4.3).
+    """
+    duration = duration if duration is not None else default_duration(12.0)
+    deployment = _failure_deployment(engine, seed, client_threads, nodes_per_cluster)
+    injector = FaultInjector(deployment)
+    if scenario == "non_leader":
+        for cluster_id in (0, 1):
+            injector.crash_non_leaders(cluster_id, at_time=fault_time)
+    elif scenario == "leader":
+        injector.crash_leader(0, at_time=fault_time)
+    elif scenario == "byzantine_leader":
+        injector.silence_leader_inter_broadcast(0, at_time=fault_time)
+    else:
+        raise ValueError(f"unknown E4 scenario {scenario!r}")
+    metrics = deployment.run(duration=duration, warmup=0.0)
+    series = metrics.throughput_timeseries(bucket=1.0, until=duration)
+    return [
+        {
+            "scenario": scenario,
+            "engine": engine,
+            "time_s": start,
+            "throughput": value,
+            "fault_time": fault_time,
+        }
+        for start, value in series
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# E5: reconfiguration
+# ---------------------------------------------------------------------- #
+def run_e5_join_leave(
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    client_threads: int = 16,
+    seed: int = 5,
+    joins: int = 3,
+    leaves: int = 3,
+) -> Dict[str, object]:
+    """E5.1: join and leave bursts against two 7-node clusters (Fig. 5a)."""
+    duration = duration if duration is not None else default_duration(12.0)
+    config = _fast_config(engine)
+    deployment = build_deployment(
+        [(7, "us-west1"), (7, "us-west1")],
+        engine=engine,
+        seed=seed,
+        config=config,
+        client_threads=client_threads,
+    )
+    join_time = duration * 0.25
+    leave_time = duration * 0.6
+    joiners = []
+    for cluster_id in (0, 1):
+        for index in range(joins):
+            joiners.append(
+                deployment.add_joiner(cluster_id, at_time=join_time + 0.2 * index,
+                                      replica_id=f"new{cluster_id}.{index}")
+            )
+        for index in range(leaves):
+            deployment.schedule_leave(f"c{cluster_id}/r{6 - index}", at_time=leave_time + 0.2 * index)
+    metrics = deployment.run(duration=duration, warmup=0.0)
+    series = metrics.throughput_timeseries(bucket=1.0, until=duration)
+    return {
+        "engine": engine,
+        "series": series,
+        "join_time": join_time,
+        "leave_time": leave_time,
+        "joins_completed": len(metrics.joins_completed),
+        "reconfigs_applied": len(metrics.reconfigs),
+        "throughput_before": _window_mean(series, 1.0, join_time),
+        # "After" means after the churn has settled: the last two seconds of
+        # the run, once clients have failed over away from departed replicas.
+        "throughput_after": _window_mean(series, duration - 2.0, duration),
+    }
+
+
+def _window_mean(series: List[Tuple[float, float]], start: float, end: float) -> float:
+    values = [value for t, value in series if start <= t < end]
+    return sum(values) / len(values) if values else 0.0
+
+
+def run_e5_workflows(
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    client_threads: int = 16,
+    seed: int = 6,
+    churn_period: float = 1.0,
+) -> List[Row]:
+    """E5.2: parallel reconfiguration workflow vs single workflow (Fig. 5b)."""
+    duration = duration if duration is not None else default_duration(10.0)
+    rows: List[Row] = []
+    for variant in ("parallel", "single"):
+        config = _fast_config(engine)
+        if variant == "parallel":
+            deployment = build_deployment(
+                [(10, "us-west1"), (8, "us-west1")],
+                engine=engine,
+                seed=seed,
+                config=config,
+                client_threads=client_threads,
+            )
+        else:
+            deployment = build_single_workflow_deployment(
+                [(10, "us-west1"), (8, "us-west1")],
+                engine=engine,
+                seed=seed,
+                config=config,
+                client_threads=client_threads,
+            )
+        start = duration * 0.3
+        churn_index = 0
+        t = start
+        while t < duration - 1.0:
+            deployment.add_joiner(0, at_time=t, replica_id=f"churn{churn_index}")
+            churn_index += 1
+            t += churn_period
+        metrics = deployment.run(duration=duration, warmup=0.5)
+        rows.append(
+            {
+                "engine": engine,
+                "variant": variant,
+                "throughput": metrics.throughput(),
+                "latency_write": metrics.mean_latency(op="write"),
+                "reconfigs_applied": len(metrics.reconfigs),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E6: comparison with GeoBFT
+# ---------------------------------------------------------------------- #
+def run_e6(
+    cluster_counts: Sequence[int] = (2, 3, 4, 6, 8, 12),
+    total_nodes: Optional[int] = None,
+    multi_region: bool = False,
+    duration: Optional[float] = None,
+    warmup: float = 0.5,
+    client_threads: int = 24,
+    seed: int = 7,
+) -> List[Row]:
+    """E6: AVA-HOTSTUFF vs GeoBFT across cluster counts (Fig. 6a/6b)."""
+    total_nodes = total_nodes if total_nodes is not None else default_nodes(48)
+    duration = duration if duration is not None else default_duration(2.5)
+    rows: List[Row] = []
+    for clusters in cluster_counts:
+        sizes = _split_nodes(total_nodes, clusters)
+        if multi_region:
+            specs = [(size, PAPER_REGIONS[index % len(PAPER_REGIONS)]) for index, size in enumerate(sizes)]
+        else:
+            specs = [(size, "us-west1") for size in sizes]
+        ava = build_deployment(
+            specs, engine="hotstuff", seed=seed, config=_fast_config("hotstuff"),
+            client_threads=client_threads,
+        )
+        ava_summary = _measure(ava, duration, warmup)
+        geo = build_geobft_deployment(
+            specs, seed=seed, client_threads=client_threads, config=_fast_config("bftsmart"),
+        )
+        geo_summary = _measure(geo, duration, warmup)
+        rows.append(
+            {
+                "clusters": clusters,
+                "regions": 3 if multi_region else 1,
+                "ava_hotstuff_throughput": ava_summary["throughput_total"],
+                "geobft_throughput": geo_summary["throughput_total"],
+                "ava_hotstuff_latency": ava_summary["latency_mean"],
+                "geobft_latency": geo_summary["latency_mean"],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E7: reconfiguration frequency
+# ---------------------------------------------------------------------- #
+def run_e7(
+    engines: Sequence[str] = ("hotstuff", "bftsmart"),
+    duration: Optional[float] = None,
+    client_threads: int = 16,
+    seed: int = 8,
+) -> List[Row]:
+    """E7: impact of reconfiguration frequency on performance (Fig. 7)."""
+    duration = duration if duration is not None else default_duration(10.0)
+    frequencies = {"none": None, "periodic": 2.0, "continuous": 0.5}
+    rows: List[Row] = []
+    for engine in engines:
+        for label, period in frequencies.items():
+            config = _fast_config(engine)
+            deployment = build_deployment(
+                [(10, "us-west1"), (10, "us-west1")],
+                engine=engine,
+                seed=seed,
+                config=config,
+                client_threads=client_threads,
+            )
+            if period is not None:
+                start = duration * 0.3
+                index = 0
+                t = start
+                while t < duration - 1.0:
+                    deployment.add_joiner(index % 2, at_time=t, replica_id=f"freq{engine}.{index}")
+                    index += 1
+                    t += period
+            metrics = deployment.run(duration=duration, warmup=duration * 0.35)
+            rows.append(
+                {
+                    "engine": engine,
+                    "reconfig_frequency": label,
+                    "throughput": metrics.throughput(),
+                    "latency_write": metrics.mean_latency(op="write"),
+                    "reconfigs_applied": len(metrics.reconfigs),
+                }
+            )
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# E8: network latency during reconfiguration
+# ---------------------------------------------------------------------- #
+def run_e8(
+    engines: Sequence[str] = ("hotstuff", "bftsmart"),
+    duration: Optional[float] = None,
+    client_threads: int = 16,
+    seed: int = 9,
+    churn_period: float = 1.0,
+) -> List[Row]:
+    """E8: impact of inter-cluster latency during reconfiguration (Fig. 8)."""
+    duration = duration if duration is not None else default_duration(8.0)
+    remote_sites = {
+        "us-east5": 52.0,
+        "asia-northeast1": 91.0,
+        "europe-west3": 142.0,
+        "asia-south1": 219.0,
+    }
+    rows: List[Row] = []
+    for engine in engines:
+        for region, rtt in remote_sites.items():
+            config = _fast_config(engine)
+            deployment = build_deployment(
+                [(10, "us-west1"), (10, region)],
+                engine=engine,
+                seed=seed,
+                config=config,
+                client_threads=client_threads,
+            )
+            deployment.latency_model.set_rtt("us-west1", region, rtt)
+            start = duration * 0.3
+            index = 0
+            t = start
+            while t < duration - 1.0:
+                deployment.add_joiner(index % 2, at_time=t, replica_id=f"e8{engine}.{region}.{index}")
+                index += 1
+                t += churn_period
+            metrics = deployment.run(duration=duration, warmup=duration * 0.35)
+            rows.append(
+                {
+                    "engine": engine,
+                    "second_cluster_region": region,
+                    "rtt_ms": rtt,
+                    "throughput": metrics.throughput(),
+                    "latency_write": metrics.mean_latency(op="write"),
+                    "reconfigs_applied": len(metrics.reconfigs),
+                }
+            )
+    return rows
+
+
+__all__ = [
+    "PAPER_REGIONS",
+    "default_duration",
+    "default_nodes",
+    "full_scale",
+    "heterogeneity_setups",
+    "print_rows",
+    "run_cluster_sweep",
+    "run_e0",
+    "run_e1",
+    "run_e2",
+    "run_e3",
+    "run_e4",
+    "run_e5_join_leave",
+    "run_e5_workflows",
+    "run_e6",
+    "run_e7",
+    "run_e8",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,88 @@
+"""Fault injection for the failure experiments (E4.1–E4.3).
+
+Three fault types match the paper's scenarios:
+
+* crash of up to ``f`` non-leader replicas per cluster,
+* crash of a cluster leader (detected by the local leader-change path),
+* a Byzantine leader that behaves correctly inside its cluster but never
+  sends the inter-cluster broadcast (detected by the remote leader change).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import failure_threshold
+from repro.harness.deployment import Deployment
+
+
+class FaultInjector:
+    """Schedules faults against a deployment before (or while) it runs."""
+
+    def __init__(self, deployment: Deployment) -> None:
+        self.deployment = deployment
+        self.injected: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Crash faults
+    # ------------------------------------------------------------------ #
+    def crash_replica(self, replica_id: str, at_time: float) -> None:
+        """Crash-stop one replica at the given virtual time."""
+        replica = self.deployment.replica(replica_id)
+        self.deployment.simulator.schedule_at(
+            at_time, replica.crash, label=f"fault:crash:{replica_id}"
+        )
+        self.injected.append(f"crash {replica_id} @ {at_time}")
+
+    def crash_non_leaders(self, cluster_id: int, at_time: float, count: Optional[int] = None) -> List[str]:
+        """Crash up to ``f`` non-leader replicas of a cluster (E4.1)."""
+        members = sorted(self.deployment.system_config.members(cluster_id))
+        faults = failure_threshold(len(members))
+        count = faults if count is None else min(count, faults)
+        leader = self.deployment.replicas[members[0]].leader
+        victims = [m for m in members if m != leader][-count:] if count else []
+        for victim in victims:
+            self.crash_replica(victim, at_time)
+        return victims
+
+    def crash_leader(self, cluster_id: int, at_time: float) -> str:
+        """Crash the current leader of a cluster (E4.2)."""
+        members = sorted(self.deployment.system_config.members(cluster_id))
+        leader = self.deployment.replicas[members[0]].leader
+        self.crash_replica(leader, at_time)
+        return leader
+
+    # ------------------------------------------------------------------ #
+    # Byzantine faults
+    # ------------------------------------------------------------------ #
+    def silence_leader_inter_broadcast(self, cluster_id: int, at_time: float) -> str:
+        """Make the cluster leader stop sending inter-cluster messages (E4.3).
+
+        The leader keeps participating correctly in local ordering, so only
+        remote clusters can detect the fault — exactly the scenario the
+        heterogeneous remote leader change protocol exists for.
+        """
+        members = sorted(self.deployment.system_config.members(cluster_id))
+        leader_id = self.deployment.replicas[members[0]].leader
+        leader = self.deployment.replica(leader_id)
+        leader.byzantine.silent_inter_after = at_time
+        self.injected.append(f"silent-inter {leader_id} @ {at_time}")
+        return leader_id
+
+    def partition_clusters(self, cluster_a: int, cluster_b: int, at_time: float, duration: float) -> None:
+        """Temporarily drop all traffic between two clusters."""
+        deployment = self.deployment
+        group_a = deployment.system_config.members(cluster_a)
+        group_b = deployment.system_config.members(cluster_b)
+
+        def _install() -> None:
+            rule = deployment.network.partition(group_a, group_b)
+            deployment.simulator.schedule(
+                duration, lambda: deployment.network.remove_drop_rule(rule), label="fault:heal"
+            )
+
+        deployment.simulator.schedule_at(at_time, _install, label="fault:partition")
+        self.injected.append(f"partition c{cluster_a}/c{cluster_b} @ {at_time} for {duration}")
+
+
+__all__ = ["FaultInjector"]

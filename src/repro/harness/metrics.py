@@ -1,0 +1,246 @@
+"""Metrics collection: the numbers the paper's figures report.
+
+The collector is a passive sink that replicas and clients call into:
+
+* clients record per-transaction latency and completion time,
+* one reporter replica per cluster records per-round stage timings,
+* replicas record applied reconfigurations and completed joins.
+
+Queries then reproduce the paper's measurements: throughput (txns/s) over a
+measurement window, mean/percentile latency split by read/write, the E2
+stage breakdown, and throughput time series for the failure and
+reconfiguration experiments.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class TransactionRecord:
+    """One completed client operation."""
+
+    txn_id: str
+    op: str
+    latency: float
+    completed_at: float
+    client_id: str
+
+
+@dataclass
+class RoundRecord:
+    """Stage timings of one executed round at one cluster."""
+
+    cluster_id: int
+    round_number: int
+    started_at: float
+    stage1_done_at: float
+    stage2_done_at: float
+    ended_at: float
+    transactions: int
+    reconfigs: int
+
+    @property
+    def stage1_duration(self) -> float:
+        """Intra-cluster replication time."""
+        return max(0.0, self.stage1_done_at - self.started_at)
+
+    @property
+    def stage2_duration(self) -> float:
+        """Inter-cluster communication time."""
+        return max(0.0, self.stage2_done_at - self.stage1_done_at)
+
+    @property
+    def stage3_duration(self) -> float:
+        """Execution time."""
+        return max(0.0, self.ended_at - self.stage2_done_at)
+
+
+@dataclass
+class ReconfigRecord:
+    """One applied reconfiguration."""
+
+    kind: str
+    process_id: str
+    cluster_id: int
+    round_number: int
+    applied_at: float
+
+
+class MetricsCollector:
+    """Collects and summarizes measurements from one deployment run."""
+
+    def __init__(self) -> None:
+        self.transactions: List[TransactionRecord] = []
+        self.rounds: List[RoundRecord] = []
+        self.reconfigs: List[ReconfigRecord] = []
+        self.joins_completed: List[Tuple[str, int, float]] = []
+        self._completion_times: List[float] = []
+        self.window: Tuple[float, Optional[float]] = (0.0, None)
+
+    # ------------------------------------------------------------------ #
+    # Recording hooks (called by clients and replicas)
+    # ------------------------------------------------------------------ #
+    def record_transaction(
+        self, txn_id: str, op: str, latency: float, completed_at: float, client_id: str
+    ) -> None:
+        """Record a completed client operation."""
+        self.transactions.append(
+            TransactionRecord(
+                txn_id=txn_id, op=op, latency=latency, completed_at=completed_at, client_id=client_id
+            )
+        )
+        self._completion_times.append(completed_at)
+
+    def record_round(
+        self,
+        cluster_id: int,
+        round_number: int,
+        started_at: float,
+        stage1_done_at: float,
+        stage2_done_at: float,
+        ended_at: float,
+        transactions: int,
+        reconfigs: int,
+    ) -> None:
+        """Record one executed round's stage timings (reporter replicas only)."""
+        self.rounds.append(
+            RoundRecord(
+                cluster_id=cluster_id,
+                round_number=round_number,
+                started_at=started_at,
+                stage1_done_at=stage1_done_at,
+                stage2_done_at=stage2_done_at,
+                ended_at=ended_at,
+                transactions=transactions,
+                reconfigs=reconfigs,
+            )
+        )
+
+    def record_reconfig(
+        self, kind: str, process_id: str, cluster_id: int, round_number: int, applied_at: float
+    ) -> None:
+        """Record an applied join/leave."""
+        self.reconfigs.append(
+            ReconfigRecord(
+                kind=kind,
+                process_id=process_id,
+                cluster_id=cluster_id,
+                round_number=round_number,
+                applied_at=applied_at,
+            )
+        )
+
+    def record_join_completed(self, process_id: str, cluster_id: int, at: float) -> None:
+        """Record that a joining replica finished its state transfer."""
+        self.joins_completed.append((process_id, cluster_id, at))
+
+    # ------------------------------------------------------------------ #
+    # Measurement window
+    # ------------------------------------------------------------------ #
+    def set_window(self, start: float, end: Optional[float] = None) -> None:
+        """Restrict queries to completions within ``[start, end]``.
+
+        The paper runs for 3 minutes and reports the last minute; the window
+        plays that role.
+        """
+        self.window = (start, end)
+
+    def _in_window(self, record: TransactionRecord) -> bool:
+        start, end = self.window
+        if record.completed_at < start:
+            return False
+        return end is None or record.completed_at <= end
+
+    def _windowed(self, op: Optional[str] = None) -> List[TransactionRecord]:
+        return [
+            record
+            for record in self.transactions
+            if self._in_window(record) and (op is None or record.op == op)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def committed_count(self, op: Optional[str] = None) -> int:
+        """Number of completed operations in the window."""
+        return len(self._windowed(op))
+
+    def throughput(self, duration: Optional[float] = None, op: Optional[str] = None) -> float:
+        """Operations per second over the measurement window."""
+        records = self._windowed(op)
+        if not records:
+            return 0.0
+        start, end = self.window
+        if duration is None:
+            effective_end = end if end is not None else max(r.completed_at for r in records)
+            duration = max(effective_end - start, 1e-9)
+        return len(records) / duration
+
+    def mean_latency(self, op: Optional[str] = None) -> float:
+        """Average latency (seconds) of completed operations in the window."""
+        records = self._windowed(op)
+        if not records:
+            return 0.0
+        return sum(r.latency for r in records) / len(records)
+
+    def latency_percentile(self, percentile: float, op: Optional[str] = None) -> float:
+        """Latency percentile (e.g. 0.5 for the median, 0.99 for p99)."""
+        records = sorted(r.latency for r in self._windowed(op))
+        if not records:
+            return 0.0
+        index = min(len(records) - 1, int(percentile * len(records)))
+        return records[index]
+
+    def throughput_timeseries(self, bucket: float = 1.0, until: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Throughput per time bucket: ``[(bucket_start, ops_per_second), ...]``."""
+        if not self.transactions and until is None:
+            return []
+        times = sorted(self._completion_times)
+        horizon = until if until is not None else (times[-1] if times else 0.0)
+        series: List[Tuple[float, float]] = []
+        start = 0.0
+        while start < horizon:
+            end = start + bucket
+            count = bisect_left(times, end) - bisect_right(times, start)
+            # bisect usage above is subtly off for counting; recompute simply.
+            count = sum(1 for t in times if start <= t < end)
+            series.append((start, count / bucket))
+            start = end
+        return series
+
+    def stage_breakdown(self) -> Dict[str, float]:
+        """Average per-stage durations (seconds) over recorded rounds."""
+        if not self.rounds:
+            return {"stage1": 0.0, "stage2": 0.0, "stage3": 0.0}
+        count = len(self.rounds)
+        return {
+            "stage1": sum(r.stage1_duration for r in self.rounds) / count,
+            "stage2": sum(r.stage2_duration for r in self.rounds) / count,
+            "stage3": sum(r.stage3_duration for r in self.rounds) / count,
+        }
+
+    def rounds_executed(self) -> int:
+        """Number of recorded rounds (reporter replicas only)."""
+        return len(self.rounds)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat summary of the headline numbers."""
+        return {
+            "throughput_total": self.throughput(),
+            "throughput_writes": self.throughput(op="write"),
+            "throughput_reads": self.throughput(op="read"),
+            "latency_mean": self.mean_latency(),
+            "latency_mean_read": self.mean_latency(op="read"),
+            "latency_mean_write": self.mean_latency(op="write"),
+            "latency_p99": self.latency_percentile(0.99),
+            "operations": float(self.committed_count()),
+            "rounds": float(self.rounds_executed()),
+            "reconfigs_applied": float(len(self.reconfigs)),
+        }
+
+
+__all__ = ["MetricsCollector", "ReconfigRecord", "RoundRecord", "TransactionRecord"]

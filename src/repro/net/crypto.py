@@ -1,0 +1,182 @@
+"""Simulated signatures and quorum certificates.
+
+The paper assumes replicas are identified by public keys and cannot forge
+each other's signatures.  Inside a single-process simulation we do not need
+real elliptic-curve cryptography; we need *unforgeability by the code paths
+that model Byzantine behaviour*.  A signature here is a token binding
+``(signer, digest)`` to a per-signer secret kept in a registry.  Honest code
+only creates signatures through :meth:`KeyRegistry.sign`, and verification
+recomputes the token, so a Byzantine component cannot fabricate a signature
+for a replica whose secret it does not hold (the registry only hands out a
+replica's signing capability to that replica's own process).
+
+The real CPU cost of signing/verification is modelled separately by the
+network's processing-cost parameters so that message-complexity differences
+between protocols remain visible in simulated throughput.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from repro.errors import CryptoError
+
+
+def _token(secret: str, digest: str) -> str:
+    """Keyed digest binding a signer's secret to a message digest."""
+    return hashlib.blake2b(
+        digest.encode("utf-8"), key=secret.encode("utf-8")[:64], digest_size=16
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature by ``signer`` over ``digest``."""
+
+    signer: str
+    digest: str
+    token: str
+
+    def __repr__(self) -> str:
+        return f"Sig({self.signer},{self.token[:8]})"
+
+
+@dataclass
+class Certificate:
+    """A set of signatures over one digest (a quorum certificate).
+
+    Attributes:
+        digest: The signed message digest.
+        signatures: Signatures collected so far, keyed by signer.
+        kind: Free-form label ("commit", "echo", "ready", "recs", ...) so the
+            same container serves consensus QCs and BRD certificates.
+    """
+
+    digest: str
+    kind: str = "commit"
+    signatures: Dict[str, Signature] = field(default_factory=dict)
+
+    def add(self, signature: Signature) -> None:
+        """Add a signature; signatures over a different digest are rejected."""
+        if signature.digest != self.digest:
+            raise CryptoError(
+                f"signature digest {signature.digest!r} does not match certificate "
+                f"digest {self.digest!r}"
+            )
+        self.signatures[signature.signer] = signature
+
+    def signers(self) -> Set[str]:
+        """The set of replica ids that have signed."""
+        return set(self.signatures)
+
+    def __len__(self) -> int:
+        return len(self.signatures)
+
+    def merge(self, other: "Certificate") -> None:
+        """Union another certificate's signatures into this one."""
+        for signature in other.signatures.values():
+            self.add(signature)
+
+    def copy(self) -> "Certificate":
+        """Shallow copy (signatures are immutable)."""
+        return Certificate(self.digest, self.kind, dict(self.signatures))
+
+
+class KeyRegistry:
+    """Key material and verification for every process in a scenario.
+
+    One registry is shared by a whole simulation.  It also exposes helpers
+    used throughout the protocols: quorum checks against a *specific* cluster
+    membership (the heterogeneous part of Hamava: a certificate from cluster
+    ``j`` must carry ``2 f_j + 1`` signatures *from members of C_j*).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._secrets: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Key management
+    # ------------------------------------------------------------------ #
+    def register(self, process_id: str) -> None:
+        """Create key material for a process (idempotent)."""
+        if process_id not in self._secrets:
+            self._secrets[process_id] = hashlib.sha256(
+                f"{self._seed}:{process_id}".encode("utf-8")
+            ).hexdigest()
+
+    def knows(self, process_id: str) -> bool:
+        """Whether the process has registered keys."""
+        return process_id in self._secrets
+
+    # ------------------------------------------------------------------ #
+    # Signing and verification
+    # ------------------------------------------------------------------ #
+    def sign(self, signer: str, digest: str) -> Signature:
+        """Sign ``digest`` on behalf of ``signer``."""
+        if signer not in self._secrets:
+            raise CryptoError(f"unknown signer {signer!r}")
+        return Signature(signer=signer, digest=digest, token=_token(self._secrets[signer], digest))
+
+    def verify(self, signature: Signature) -> bool:
+        """Check that a signature was produced with the signer's secret."""
+        secret = self._secrets.get(signature.signer)
+        if secret is None:
+            return False
+        return signature.token == _token(secret, signature.digest)
+
+    def forge(self, signer: str, digest: str) -> Signature:
+        """Produce an *invalid* signature claiming to be from ``signer``.
+
+        Byzantine behaviours use this to attempt forgeries; verification will
+        reject it.  Provided so attack tests never touch real secrets.
+        """
+        return Signature(signer=signer, digest=digest, token="forged-" + digest[:16])
+
+    # ------------------------------------------------------------------ #
+    # Certificates
+    # ------------------------------------------------------------------ #
+    def new_certificate(self, digest: str, kind: str = "commit") -> Certificate:
+        """Create an empty certificate for a digest."""
+        return Certificate(digest=digest, kind=kind)
+
+    def certificate_valid(
+        self,
+        certificate: Optional[Certificate],
+        members: Iterable[str],
+        threshold: int,
+        digest: Optional[str] = None,
+    ) -> bool:
+        """Validate a certificate against a membership and threshold.
+
+        Args:
+            certificate: The certificate to check (``None`` fails).
+            members: The membership the signatures must come from.
+            threshold: Minimum number of valid member signatures required.
+            digest: If given, the certificate must cover exactly this digest.
+
+        Returns:
+            ``True`` when at least ``threshold`` signatures are valid, were
+            produced by distinct members of ``members``, and cover the
+            expected digest.
+        """
+        if certificate is None:
+            return False
+        if digest is not None and certificate.digest != digest:
+            return False
+        member_set = set(members)
+        valid = 0
+        for signature in certificate.signatures.values():
+            if signature.signer not in member_set:
+                continue
+            if signature.digest != certificate.digest:
+                continue
+            if not self.verify(signature):
+                continue
+            valid += 1
+        return valid >= threshold
+
+
+__all__ = ["Certificate", "KeyRegistry", "Signature"]

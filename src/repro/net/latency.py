@@ -1,0 +1,178 @@
+"""Geographic latency model.
+
+The paper deploys clusters across three Google Cloud regions and reports the
+inter-region round-trip times in Table II.  This module reproduces that
+matrix and extends it with the extra locations used in experiment E8
+(us-east5, asia-northeast1), using the one-way latencies the paper quotes for
+that experiment (52 / 91 / 142 / 219 ms round trips to us-west1).
+
+One-way latency between two processes is ``rtt / 2`` plus a small jitter;
+intra-region latency is sub-millisecond, matching a single cloud zone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import SeededRng
+
+Region = str
+
+#: Inter-region round-trip latency in milliseconds (paper, Table II), plus the
+#: extra regions used by experiment E8 (latencies to us-west1 given in §V-E8).
+REGION_RTT_MS: Dict[Tuple[Region, Region], float] = {
+    ("us-west1", "us-west1"): 0.0,
+    ("europe-west3", "europe-west3"): 0.0,
+    ("asia-south1", "asia-south1"): 0.0,
+    ("us-west1", "europe-west3"): 148.0,
+    ("us-west1", "asia-south1"): 214.0,
+    ("europe-west3", "asia-south1"): 134.0,
+    # E8 extra regions: RTT to us-west1 reported in the paper.
+    ("us-west1", "us-east5"): 52.0,
+    ("us-west1", "asia-northeast1"): 91.0,
+    # Reasonable symmetric fills for pairs the paper does not report; they are
+    # only exercised if a scenario explicitly places clusters there.
+    ("us-east5", "europe-west3"): 100.0,
+    ("us-east5", "asia-south1"): 230.0,
+    ("us-east5", "asia-northeast1"): 150.0,
+    ("us-east5", "us-east5"): 0.0,
+    ("asia-northeast1", "europe-west3"): 220.0,
+    ("asia-northeast1", "asia-south1"): 120.0,
+    ("asia-northeast1", "asia-northeast1"): 0.0,
+}
+
+#: Aliases used in the paper's prose ("US", "EU", "Asia") mapped to regions.
+REGION_ALIASES: Dict[str, Region] = {
+    "US": "us-west1",
+    "EU": "europe-west3",
+    "Asia": "asia-south1",
+    "us": "us-west1",
+    "eu": "europe-west3",
+    "asia": "asia-south1",
+}
+
+
+def canonical_region(region: Region) -> Region:
+    """Map prose aliases ("US", "EU", "Asia") to canonical region names."""
+    return REGION_ALIASES.get(region, region)
+
+
+def region_rtt_ms(a: Region, b: Region, table: Optional[Mapping[Tuple[Region, Region], float]] = None) -> float:
+    """Round-trip time in milliseconds between two regions."""
+    table = table if table is not None else REGION_RTT_MS
+    a = canonical_region(a)
+    b = canonical_region(b)
+    if (a, b) in table:
+        return table[(a, b)]
+    if (b, a) in table:
+        return table[(b, a)]
+    if a == b:
+        return 0.0
+    raise ConfigurationError(f"no RTT entry for region pair ({a!r}, {b!r})")
+
+
+@dataclass
+class LatencyParameters:
+    """Tunable constants of the latency model (times in seconds).
+
+    Attributes:
+        intra_region_latency: One-way latency between nodes in one zone.
+        jitter_fraction: Relative jitter applied to each one-way latency.
+        bandwidth_bytes_per_sec: Per-link serialization bandwidth; larger
+            messages (batches) take proportionally longer.
+        per_message_overhead: Fixed software overhead per delivered message.
+    """
+
+    intra_region_latency: float = 0.0006
+    jitter_fraction: float = 0.08
+    bandwidth_bytes_per_sec: float = 2.0e8
+    per_message_overhead: float = 0.00005
+
+
+class LatencyModel:
+    """Computes message delivery latency between located processes.
+
+    Args:
+        rng: Seeded RNG namespace; jitter draws come from a child stream so
+            the same scenario seed yields the same network behaviour.
+        parameters: Model constants.
+        rtt_table: Override for the region RTT matrix (tests, E8 sweeps).
+    """
+
+    def __init__(
+        self,
+        rng: SeededRng,
+        parameters: Optional[LatencyParameters] = None,
+        rtt_table: Optional[Mapping[Tuple[Region, Region], float]] = None,
+    ) -> None:
+        self.parameters = parameters or LatencyParameters()
+        self._rng = rng.child("latency")
+        self._rtt_table = dict(rtt_table) if rtt_table is not None else dict(REGION_RTT_MS)
+        self._locations: Dict[str, Region] = {}
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    def place(self, process_id: str, region: Region) -> None:
+        """Record the region a process runs in."""
+        self._locations[process_id] = canonical_region(region)
+
+    def region_of(self, process_id: str) -> Region:
+        """The region a process was placed in (default: us-west1)."""
+        return self._locations.get(process_id, "us-west1")
+
+    def set_rtt(self, a: Region, b: Region, rtt_ms: float) -> None:
+        """Override the RTT between two regions (used by the E8 sweep)."""
+        a = canonical_region(a)
+        b = canonical_region(b)
+        self._rtt_table[(a, b)] = rtt_ms
+        self._rtt_table[(b, a)] = rtt_ms
+
+    def rtt_ms(self, a: Region, b: Region) -> float:
+        """RTT between two regions under the current table."""
+        return region_rtt_ms(a, b, self._rtt_table)
+
+    # ------------------------------------------------------------------ #
+    # Latency computation
+    # ------------------------------------------------------------------ #
+    def one_way_latency(self, src: str, dst: str, size_bytes: int = 0) -> float:
+        """One-way delivery latency in seconds for a message of given size."""
+        params = self.parameters
+        src_region = self.region_of(src)
+        dst_region = self.region_of(dst)
+        if src_region == dst_region:
+            base = params.intra_region_latency
+        else:
+            base = self.rtt_ms(src_region, dst_region) / 2.0 / 1000.0
+        transfer = size_bytes / params.bandwidth_bytes_per_sec if size_bytes else 0.0
+        latency = self._rng.jitter(base, params.jitter_fraction) + transfer
+        return max(latency, params.per_message_overhead) + params.per_message_overhead
+
+    def pairs(self) -> Iterable[Tuple[Region, Region]]:
+        """All region pairs known to the model."""
+        return self._rtt_table.keys()
+
+
+def paper_rtt_matrix() -> Dict[str, Dict[str, float]]:
+    """Return Table II as a nested dict keyed by the paper's region labels."""
+    labels = ["US", "EU", "Asia"]
+    matrix: Dict[str, Dict[str, float]] = {}
+    for a in labels:
+        matrix[a] = {}
+        for b in labels:
+            matrix[a][b] = region_rtt_ms(a, b)
+    return matrix
+
+
+__all__ = [
+    "LatencyModel",
+    "LatencyParameters",
+    "REGION_RTT_MS",
+    "REGION_ALIASES",
+    "Region",
+    "canonical_region",
+    "paper_rtt_matrix",
+    "region_rtt_ms",
+]

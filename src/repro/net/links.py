@@ -1,0 +1,80 @@
+"""Authenticated links, the two communication primitives the paper assumes.
+
+* ``apl`` — authenticated perfect point-to-point links: messages carry the
+  sender's signature; the transport drops forged envelopes; between correct
+  processes, every sent message is eventually delivered exactly once (the
+  simulator has no spontaneous loss; loss is only injected by drop rules).
+* ``abeb`` — authenticated best-effort broadcast: sends the same signed
+  payload over ``apl`` to every member of a group (including the sender, so
+  local delivery of one's own broadcast is uniform with remote delivery).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.net.crypto import Signature
+from repro.net.message import Message
+from repro.net.network import Network
+
+
+class AuthenticatedPerfectLink:
+    """Point-to-point sending on behalf of one process.
+
+    Args:
+        owner: Process id of the sender.
+        network: The network to route through.
+    """
+
+    def __init__(self, owner: str, network: Network) -> None:
+        self.owner = owner
+        self.network = network
+
+    def sign(self, payload: Message) -> Signature:
+        """Sign a payload digest with the owner's key."""
+        return self.network.registry.sign(self.owner, payload.digest())
+
+    def send(self, destination: str, payload: Message) -> None:
+        """Sign and send ``payload`` to ``destination``."""
+        self.network.send(self.owner, destination, payload, self.sign(payload))
+
+    def send_many(self, destinations: Sequence[str], payload: Message) -> None:
+        """Sign once and send the payload to several destinations."""
+        self.network.multicast(self.owner, list(destinations), payload, self.sign(payload))
+
+
+class AuthenticatedBestEffortBroadcast:
+    """Broadcast within a (dynamic) group on behalf of one process.
+
+    The group is supplied by a callable so it always reflects the current
+    cluster membership — essential once reconfiguration changes ``C_i``.
+    """
+
+    def __init__(
+        self,
+        owner: str,
+        network: Network,
+        group: Callable[[], Iterable[str]],
+        include_self: bool = True,
+    ) -> None:
+        self.owner = owner
+        self.network = network
+        self._group = group
+        self.include_self = include_self
+
+    def members(self) -> list[str]:
+        """Current broadcast group."""
+        members = list(self._group())
+        if not self.include_self:
+            members = [m for m in members if m != self.owner]
+        elif self.owner not in members:
+            members = members + [self.owner]
+        return members
+
+    def broadcast(self, payload: Message) -> None:
+        """Sign and send ``payload`` to every current group member."""
+        signature = self.network.registry.sign(self.owner, payload.digest())
+        self.network.multicast(self.owner, self.members(), payload, signature)
+
+
+__all__ = ["AuthenticatedBestEffortBroadcast", "AuthenticatedPerfectLink"]

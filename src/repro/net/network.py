@@ -1,0 +1,273 @@
+"""The simulated network: routing, latency, CPU queues, and fault injection.
+
+The network routes :class:`~repro.net.message.Envelope` objects between
+registered processes.  Delivery time is the sum of
+
+* a sender-side serialization stagger (per destination),
+* the geo latency from the :class:`~repro.net.latency.LatencyModel`
+  (including a bandwidth term proportional to message size), and
+* receiver-side processing time, served from a per-process CPU queue whose
+  cost grows with the number of signatures the message carries.
+
+The CPU queue is what makes protocol *message complexity* visible in
+simulated throughput: a PBFT-style all-to-all phase loads every replica with
+O(n) verifications per decision, while a HotStuff-style linear phase loads
+only the leader.  This mirrors the throughput gap the paper observes between
+AVA-BFTSMART and AVA-HOTSTUFF.
+
+Fault injection supports crash-stop processes, directed message filters
+(used to model partitions and Byzantine message dropping), and statistics
+used by the complexity analyses.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import NetworkError
+from repro.net.crypto import KeyRegistry, Signature
+from repro.net.latency import LatencyModel
+from repro.net.message import Envelope, Message
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+#: A drop rule: returns True when the envelope must be dropped.
+DropRule = Callable[[Envelope], bool]
+
+
+@dataclass
+class NetworkConfig:
+    """Processing-cost constants for the network (times in seconds).
+
+    Attributes:
+        send_overhead: Sender-side cost to serialize and push one message.
+        base_processing: Receiver-side fixed cost to handle one message.
+        signature_verify_cost: Receiver-side cost per signature verification.
+        verify_envelopes: Whether the transport drops envelopes whose sender
+            signature does not verify (authenticated-link property).
+        cpu_model: When ``True`` (default) receivers process messages through
+            a serial CPU queue; when ``False`` processing cost is ignored
+            (useful for pure-logic unit tests).
+    """
+
+    send_overhead: float = 0.00002
+    base_processing: float = 0.00001
+    signature_verify_cost: float = 0.00008
+    verify_envelopes: bool = True
+    cpu_model: bool = True
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing all traffic that crossed the network."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    by_type: Counter = field(default_factory=Counter)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict snapshot of the scalar counters."""
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class Network:
+    """Routes envelopes between processes over the simulated topology.
+
+    Args:
+        simulator: The simulation kernel.
+        latency_model: Geo latency model; processes must be placed on it.
+        registry: Key registry used to sign and verify envelopes.
+        config: Processing-cost constants.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_model: LatencyModel,
+        registry: KeyRegistry,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.simulator = simulator
+        self.latency_model = latency_model
+        self.registry = registry
+        self.config = config or NetworkConfig()
+        self.stats = NetworkStats()
+        self._processes: Dict[str, Process] = {}
+        self._cpu_free: Dict[str, float] = {}
+        self._drop_rules: List[DropRule] = []
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def register(self, process: Process, region: str = "us-west1") -> None:
+        """Attach a process to the network and place it in a region."""
+        self._processes[process.process_id] = process
+        self.latency_model.place(process.process_id, region)
+        self.registry.register(process.process_id)
+        self._cpu_free.setdefault(process.process_id, 0.0)
+        process.attach(self)
+
+    def deregister(self, process_id: str) -> None:
+        """Detach a process; subsequent messages to it are dropped."""
+        self._processes.pop(process_id, None)
+
+    def process(self, process_id: str) -> Optional[Process]:
+        """Look up a registered process by id."""
+        return self._processes.get(process_id)
+
+    def known_processes(self) -> List[str]:
+        """Identifiers of all registered processes."""
+        return list(self._processes)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+    def add_drop_rule(self, rule: DropRule) -> DropRule:
+        """Install a drop rule; returns it so callers can remove it later."""
+        self._drop_rules.append(rule)
+        return rule
+
+    def remove_drop_rule(self, rule: DropRule) -> None:
+        """Remove a previously installed drop rule."""
+        if rule in self._drop_rules:
+            self._drop_rules.remove(rule)
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> DropRule:
+        """Drop all traffic between two groups of processes (both ways)."""
+        set_a = set(group_a)
+        set_b = set(group_b)
+
+        def rule(envelope: Envelope) -> bool:
+            return (envelope.sender in set_a and envelope.destination in set_b) or (
+                envelope.sender in set_b and envelope.destination in set_a
+            )
+
+        return self.add_drop_rule(rule)
+
+    def isolate(self, process_id: str) -> DropRule:
+        """Drop all traffic to and from one process."""
+
+        def rule(envelope: Envelope) -> bool:
+            return process_id in (envelope.sender, envelope.destination)
+
+        return self.add_drop_rule(rule)
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        sender: str,
+        destination: str,
+        payload: Message,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        """Send a single message from ``sender`` to ``destination``."""
+        self._dispatch(sender, [destination], payload, signature)
+
+    def multicast(
+        self,
+        sender: str,
+        destinations: Sequence[str],
+        payload: Message,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        """Send one message to many destinations with sender-side staggering."""
+        self._dispatch(sender, destinations, payload, signature)
+
+    # ------------------------------------------------------------------ #
+    # Internal delivery machinery
+    # ------------------------------------------------------------------ #
+    def _dispatch(
+        self,
+        sender: str,
+        destinations: Sequence[str],
+        payload: Message,
+        signature: Optional[Signature],
+    ) -> None:
+        if sender not in self._processes:
+            raise NetworkError(f"unknown sender {sender!r}")
+        sender_process = self._processes[sender]
+        if sender_process.crashed:
+            return
+        now = self.simulator.now
+        size = payload.estimated_size()
+        send_cost = self.config.send_overhead if self.config.cpu_model else 0.0
+        departure = max(now, self._cpu_free.get(sender, 0.0)) if self.config.cpu_model else now
+        for destination in destinations:
+            departure += send_cost
+            envelope = Envelope(
+                sender=sender,
+                destination=destination,
+                payload=payload,
+                signature=signature,
+                sent_at=now,
+                size_bytes=size,
+            )
+            self.stats.messages_sent += 1
+            self.stats.bytes_sent += size
+            self.stats.by_type[payload.type_name()] += 1
+            if self._should_drop(envelope):
+                self.stats.messages_dropped += 1
+                continue
+            target = self._processes.get(destination)
+            if target is None:
+                self.stats.messages_dropped += 1
+                continue
+            latency = self.latency_model.one_way_latency(sender, destination, size)
+            arrival = departure + latency
+            self.simulator.schedule_at(
+                arrival,
+                lambda env=envelope, arr=arrival: self._deliver(env, arr),
+                label=f"net:{payload.type_name()}:{sender}->{destination}",
+            )
+        if self.config.cpu_model:
+            self._cpu_free[sender] = departure
+
+    def _should_drop(self, envelope: Envelope) -> bool:
+        return any(rule(envelope) for rule in self._drop_rules)
+
+    def _deliver(self, envelope: Envelope, arrival: float) -> None:
+        target = self._processes.get(envelope.destination)
+        if target is None or target.crashed:
+            self.stats.messages_dropped += 1
+            return
+        if self.config.verify_envelopes and envelope.signature is not None:
+            if not self.registry.verify(envelope.signature):
+                self.stats.messages_dropped += 1
+                return
+        if self.config.cpu_model:
+            processing = (
+                self.config.base_processing
+                + envelope.payload.verification_cost() * self.config.signature_verify_cost
+            )
+            start = max(arrival, self._cpu_free.get(envelope.destination, 0.0))
+            finish = start + processing
+            self._cpu_free[envelope.destination] = finish
+            self.simulator.schedule_at(
+                finish,
+                lambda env=envelope: self._hand_over(env),
+                label=f"cpu:{envelope.type_name()}:{envelope.destination}",
+            )
+        else:
+            self._hand_over(envelope)
+
+    def _hand_over(self, envelope: Envelope) -> None:
+        target = self._processes.get(envelope.destination)
+        if target is None or target.crashed:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        target.deliver(envelope.sender, envelope)
+
+
+__all__ = ["DropRule", "Network", "NetworkConfig", "NetworkStats"]

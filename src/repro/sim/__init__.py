@@ -1,0 +1,22 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel provides a virtual clock, an event queue with stable ordering,
+cancellable timers, and a :class:`~repro.sim.process.Process` base class that
+protocol components build on.  Every run with the same seed and the same
+scenario produces the same schedule, which is what makes the protocol tests
+and benchmarks reproducible.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import Process
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import Simulator, Timer
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Process",
+    "SeededRng",
+    "Simulator",
+    "Timer",
+]

@@ -1,0 +1,109 @@
+"""Event objects and the priority queue that orders them.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number is
+assigned at insertion, so two events scheduled for the same instant run in the
+order they were scheduled.  This total order is what keeps simulations
+deterministic across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: Virtual time at which the callback fires.
+        priority: Lower values fire first among events at the same time.
+        sequence: Insertion order tie-breaker assigned by the queue.
+        callback: Zero-argument callable invoked when the event fires.
+        cancelled: Set by :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A stable priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time!r}")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=self._sequence,
+            callback=callback,
+            label=label,
+        )
+        self._sequence += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def discard_cancelled(self) -> None:
+        """Compact the heap by dropping cancelled entries (housekeeping)."""
+        live = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(live)
+        self._heap = live
+
+    def notify_cancel(self) -> None:
+        """Record that one previously-pushed event was cancelled."""
+        self._live = max(0, self._live - 1)
+
+
+def noop() -> None:
+    """A do-nothing callback, useful as a placeholder in tests."""
+    return None
+
+
+__all__ = ["Event", "EventQueue", "noop"]

@@ -1,0 +1,113 @@
+"""Base class for simulated processes (replicas, clients, joiners).
+
+A :class:`Process` owns an identifier, a reference to the simulator, and a
+mailbox-style ``receive`` entry point invoked by the network when a message is
+delivered.  Subclasses implement ``on_message`` and may override lifecycle
+hooks (``on_start``, ``on_crash``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.sim.rng import SeededRng, stable_hash
+from repro.sim.simulator import Simulator, Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.network import Network
+
+
+class Process:
+    """A named participant in a simulation.
+
+    Attributes:
+        process_id: Globally unique identifier (e.g. ``"c0/r2"``).
+        simulator: The simulation kernel this process is attached to.
+        network: Set by :meth:`attach` when the process joins a network.
+        crashed: Crashed processes silently drop every delivery.
+    """
+
+    def __init__(self, process_id: str, simulator: Simulator) -> None:
+        self.process_id = process_id
+        self.simulator = simulator
+        self.network: Optional["Network"] = None
+        self.crashed = False
+        self.rng = SeededRng(
+            simulator.seed ^ stable_hash([process_id]), f"process/{process_id}"
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def attach(self, network: "Network") -> None:
+        """Bind this process to a network (called by ``Network.register``)."""
+        self.network = network
+
+    def start(self) -> None:
+        """Run ``on_start`` exactly once; called by the deployment builder."""
+        if self._started:
+            return
+        self._started = True
+        self.on_start()
+
+    def crash(self) -> None:
+        """Crash-stop the process: it no longer receives or sends."""
+        if not self.crashed:
+            self.crashed = True
+            self.on_crash()
+
+    def recover(self) -> None:
+        """Undo a crash (used by tests that model transient outages)."""
+        self.crashed = False
+
+    # ------------------------------------------------------------------ #
+    # Hooks for subclasses
+    # ------------------------------------------------------------------ #
+    def on_start(self) -> None:
+        """Hook invoked when the process starts (default: nothing)."""
+
+    def on_crash(self) -> None:
+        """Hook invoked when the process crashes (default: nothing)."""
+
+    def on_message(self, sender: str, message: Any) -> None:
+        """Handle a delivered message.  Subclasses override this."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Conveniences
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.simulator.now
+
+    def deliver(self, sender: str, message: Any) -> None:
+        """Entry point used by the network; filters deliveries while crashed."""
+        if self.crashed:
+            return
+        self.on_message(sender, message)
+
+    def after(self, delay: float, callback, label: str = "") -> None:
+        """Schedule a callback guarded against post-crash execution."""
+
+        def _guarded() -> None:
+            if not self.crashed:
+                callback()
+
+        self.simulator.schedule(delay, _guarded, label=label or f"{self.process_id}:after")
+
+    def new_timer(self, duration: float, callback, name: str = "") -> Timer:
+        """Create a timer whose callback is suppressed once crashed."""
+
+        def _guarded() -> None:
+            if not self.crashed:
+                callback()
+
+        return self.simulator.timer(duration, _guarded, name=f"{self.process_id}:{name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.process_id} at t={self.now:.3f}>"
+
+
+__all__ = ["Process"]

@@ -1,0 +1,209 @@
+"""The discrete-event simulator driving every scenario.
+
+The simulator owns the virtual clock and the event queue.  Components
+schedule callbacks (message deliveries, timer expirations, client think
+times); the simulator pops them in deterministic order and advances the
+clock to each event's time.  Nothing in the library sleeps or reads the wall
+clock, so a three-minute geo-replication experiment runs in seconds of real
+time and is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import SeededRng
+
+
+class Timer:
+    """A restartable one-shot timer bound to a :class:`Simulator`.
+
+    Protocol components use timers to watch leaders and remote clusters
+    (``timer_j`` in the paper).  A timer can be started, stopped, and reset;
+    the callback fires only if the timer is still pending at expiry.
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        duration: float,
+        callback: Callable[[], None],
+        name: str = "",
+    ) -> None:
+        self._simulator = simulator
+        self.duration = duration
+        self.callback = callback
+        self.name = name
+        self._event: Optional[Event] = None
+
+    @property
+    def pending(self) -> bool:
+        """Whether the timer is armed and has not yet fired or been stopped."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, duration: Optional[float] = None) -> None:
+        """Arm the timer.  Restarts it if it is already pending."""
+        self.stop()
+        if duration is not None:
+            self.duration = duration
+        self._event = self._simulator.schedule(
+            self.duration, self._fire, label=f"timer:{self.name}"
+        )
+
+    def reset(self, duration: Optional[float] = None) -> None:
+        """Alias for :meth:`start`; mirrors the paper's ``reset timer``."""
+        self.start(duration)
+
+    def stop(self) -> None:
+        """Disarm the timer if pending."""
+        if self._event is not None and not self._event.cancelled:
+            self._event.cancel()
+            self._simulator.notify_cancel()
+        self._event = None
+
+    def remaining(self) -> float:
+        """Virtual time left until the timer fires (0 if not pending)."""
+        if not self.pending or self._event is None:
+            return 0.0
+        return max(0.0, self._event.time - self._simulator.now)
+
+    def elapsed(self) -> float:
+        """Virtual time since the timer was last armed (duration if idle)."""
+        return self.duration - self.remaining()
+
+    def _fire(self) -> None:
+        self._event = None
+        self.callback()
+
+
+class Simulator:
+    """Deterministic discrete-event loop with a virtual clock.
+
+    Args:
+        seed: Root seed for all randomness derived from this simulator.
+
+    Typical usage::
+
+        sim = Simulator(seed=7)
+        sim.schedule(1.5, lambda: print(sim.now))
+        sim.run(until=10.0)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.seed = seed
+        self.rng = SeededRng(seed, "simulator")
+        self._queue = EventQueue()
+        self._events_processed = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` after the current time."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        return self._queue.push(self.now + delay, callback, priority=priority, label=label)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute virtual ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, which is before the current time {self.now!r}"
+            )
+        return self._queue.push(time, callback, priority=priority, label=label)
+
+    def timer(self, duration: float, callback: Callable[[], None], name: str = "") -> Timer:
+        """Create a (not yet started) :class:`Timer`."""
+        return Timer(self, duration, callback, name=name)
+
+    def notify_cancel(self) -> None:
+        """Inform the queue that a previously scheduled event was cancelled."""
+        self._queue.notify_cancel()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live events still in the queue."""
+        return len(self._queue)
+
+    def stop(self) -> None:
+        """Request that the run loop return after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Execute a single event.  Returns ``False`` when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError(
+                f"event scheduled at {event.time} popped after clock reached {self.now}"
+            )
+        self.now = event.time
+        self._events_processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or stopped.
+
+        Args:
+            until: Stop once the clock would pass this virtual time.  The
+                clock is advanced to ``until`` even if the queue drains early,
+                so callers can reason about a fixed experiment duration.
+            max_events: Safety valve for tests; raise if exceeded.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; the scenario may be livelocked"
+                    )
+            if until is not None and self.now < until and not self._stopped:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> None:
+        """Run for ``duration`` units of virtual time from the current clock."""
+        self.run(until=self.now + duration, max_events=max_events)
+
+
+__all__ = ["Simulator", "Timer"]

@@ -1,0 +1,19 @@
+"""Workload generation: YCSB-style key-value operations and clients.
+
+The paper drives both systems with YCSB at an 85%/15% read/write ratio, a
+Zipfian key-popularity distribution, 1 KB operations, and closed-loop client
+threads that issue requests back-to-back.  This package reproduces that
+workload on top of the simulator.
+"""
+
+from repro.workload.clients import ReconfigurationClient, WorkloadClient
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+from repro.workload.zipf import ZipfianGenerator
+
+__all__ = [
+    "ReconfigurationClient",
+    "WorkloadClient",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "ZipfianGenerator",
+]

@@ -1,0 +1,223 @@
+"""Client processes: closed-loop workload clients and a churn client.
+
+The paper deploys one client per cluster with multiple threads, each issuing
+its next request as soon as the previous one returns (closed loop, no think
+time).  :class:`WorkloadClient` models exactly that: ``threads`` independent
+logical threads, each with one outstanding transaction, retransmitting after
+``retry_timeout`` if a response never arrives (e.g. the transaction was lost
+in a leader change).
+
+:class:`ReconfigurationClient` issues join/leave requests on a schedule; the
+deployment harness uses it for experiments E5, E7, and E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.messages import ClientRequest, ClientResponse
+from repro.core.types import Transaction, make_transaction
+from repro.net.links import AuthenticatedPerfectLink
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.workload.ycsb import YcsbWorkload
+
+
+@dataclass
+class _Thread:
+    """One logical closed-loop client thread."""
+
+    index: int
+    outstanding_txn: Optional[Transaction] = None
+    submitted_at: float = 0.0
+    completed: int = 0
+
+
+class WorkloadClient(Process):
+    """A closed-loop YCSB client bound to the replicas of one cluster.
+
+    Args:
+        client_id: Process id of this client.
+        simulator: Simulation kernel.
+        network: Simulated network.
+        workload: Operation generator.
+        target_replicas: Replicas of the cluster this client talks to;
+            requests are spread across them round-robin.
+        threads: Number of concurrent logical threads (outstanding requests).
+        metrics: Optional metrics sink (duck-typed ``record_transaction``).
+        retry_timeout: Seconds after which an unanswered request is resent.
+        start_delay: Virtual seconds to wait before issuing the first request.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        simulator: Simulator,
+        network: Network,
+        workload: YcsbWorkload,
+        target_replicas: List[str],
+        threads: int = 16,
+        metrics: Optional[Any] = None,
+        retry_timeout: float = 60.0,
+        start_delay: float = 0.0,
+    ) -> None:
+        super().__init__(client_id, simulator)
+        self.workload = workload
+        self.target_replicas = list(target_replicas)
+        self.threads = [_Thread(index=i) for i in range(threads)]
+        self.metrics = metrics
+        self.retry_timeout = retry_timeout
+        self.start_delay = start_delay
+        self.apl: Optional[AuthenticatedPerfectLink] = None
+        self._network = network
+        self._by_txn: Dict[str, _Thread] = {}
+        self._target_index = 0
+        #: Replicas that timed out recently; skipped while alternatives exist
+        #: (real YCSB clients likewise stop talking to unresponsive servers).
+        self._suspected: set = set()
+        self.completed_reads = 0
+        self.completed_writes = 0
+
+    def on_start(self) -> None:
+        """Kick off every thread's first request."""
+        self.apl = AuthenticatedPerfectLink(self.process_id, self._network)
+        for thread in self.threads:
+            self.after(self.start_delay, lambda t=thread: self._submit_next(t))
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def _next_target(self) -> str:
+        for _ in range(len(self.target_replicas)):
+            target = self.target_replicas[self._target_index % len(self.target_replicas)]
+            self._target_index += 1
+            if target not in self._suspected:
+                return target
+        # Every replica is suspected; fall back to plain round-robin.
+        target = self.target_replicas[self._target_index % len(self.target_replicas)]
+        self._target_index += 1
+        return target
+
+    def _submit_next(self, thread: _Thread) -> None:
+        if self.crashed or self.apl is None:
+            return
+        op, key, value = self.workload.next_operation()
+        target = self._next_target()
+        transaction = make_transaction(
+            client_id=self.process_id,
+            origin_replica=target,
+            op=op,
+            key=key,
+            value=value,
+            submitted_at=self.now,
+            size_bytes=self.workload.config.value_size,
+        )
+        thread.outstanding_txn = transaction
+        thread.submitted_at = self.now
+        self._by_txn[transaction.txn_id] = thread
+        self.apl.send(target, ClientRequest(transaction=transaction))
+        self.after(
+            self.retry_timeout,
+            lambda t=thread, txn=transaction: self._maybe_retry(t, txn),
+            label=f"{self.process_id}:retry",
+        )
+
+    def _maybe_retry(self, thread: _Thread, transaction: Transaction) -> None:
+        if self.apl is None:
+            return
+        if thread.outstanding_txn is None or thread.outstanding_txn.txn_id != transaction.txn_id:
+            return
+        # The request is still unanswered after the retry timeout; suspect the
+        # original replica and resend to a different one.
+        self._suspected.add(transaction.origin_replica)
+        target = self._next_target()
+        self.apl.send(target, ClientRequest(transaction=transaction))
+        self.after(
+            self.retry_timeout,
+            lambda t=thread, txn=transaction: self._maybe_retry(t, txn),
+            label=f"{self.process_id}:retry",
+        )
+
+    # ------------------------------------------------------------------ #
+    # Responses
+    # ------------------------------------------------------------------ #
+    def on_message(self, sender: str, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if not isinstance(payload, ClientResponse):
+            return
+        thread = self._by_txn.pop(payload.txn_id, None)
+        if thread is None or thread.outstanding_txn is None:
+            return
+        if thread.outstanding_txn.txn_id != payload.txn_id:
+            return
+        transaction = thread.outstanding_txn
+        latency = self.now - thread.submitted_at
+        thread.outstanding_txn = None
+        thread.completed += 1
+        if transaction.is_read:
+            self.completed_reads += 1
+        else:
+            self.completed_writes += 1
+        if self.metrics is not None:
+            self.metrics.record_transaction(
+                txn_id=payload.txn_id,
+                op=transaction.op,
+                latency=latency,
+                completed_at=self.now,
+                client_id=self.process_id,
+            )
+        self._submit_next(thread)
+
+    def completed_total(self) -> int:
+        """Total operations completed across all threads."""
+        return self.completed_reads + self.completed_writes
+
+
+class ReconfigurationClient(Process):
+    """Schedules join and leave requests against a running deployment.
+
+    The client does not speak the wire protocol itself; it drives the
+    requester-side API of replicas (``request_join`` / ``request_leave``),
+    which is how the paper's dedicated reconfiguration client behaves.
+
+    Args:
+        client_id: Process id.
+        simulator: Simulation kernel.
+        actions: List of ``(at_time, callable)`` pairs executed at the given
+            virtual times.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        simulator: Simulator,
+        actions: Optional[List] = None,
+    ) -> None:
+        super().__init__(client_id, simulator)
+        self.actions = list(actions or [])
+        self.performed: List[float] = []
+
+    def add_action(self, at_time: float, action: Callable[[], None]) -> None:
+        """Add a scheduled action before the client starts."""
+        self.actions.append((at_time, action))
+
+    def on_start(self) -> None:
+        for at_time, action in self.actions:
+            self.simulator.schedule_at(
+                max(at_time, self.now),
+                lambda act=action, t=at_time: self._perform(act, t),
+                label=f"{self.process_id}:reconfig",
+            )
+
+    def _perform(self, action: Callable[[], None], at_time: float) -> None:
+        self.performed.append(at_time)
+        action()
+
+    def on_message(self, sender: str, envelope: Envelope) -> None:
+        """The churn client ignores protocol traffic."""
+
+
+__all__ = ["ReconfigurationClient", "WorkloadClient"]

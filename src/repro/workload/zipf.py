@@ -1,0 +1,61 @@
+"""Zipfian key chooser used by the YCSB workload.
+
+Implements the standard cumulative-probability inversion over a finite key
+space with exponent ``theta`` (YCSB's default is 0.99).  The CDF is
+precomputed once, so drawing a key is a binary search — fast enough for the
+millions of operations a throughput experiment issues.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.sim.rng import SeededRng
+
+
+class ZipfianGenerator:
+    """Draws integers in ``[0, item_count)`` with Zipfian popularity.
+
+    Args:
+        item_count: Size of the key space.
+        theta: Skew exponent; 0 is uniform, YCSB uses 0.99 by default.
+        rng: Seeded random stream.
+    """
+
+    def __init__(self, item_count: int, theta: float, rng: SeededRng) -> None:
+        if item_count <= 0:
+            raise WorkloadError("item_count must be positive")
+        if theta < 0:
+            raise WorkloadError("theta must be non-negative")
+        self.item_count = item_count
+        self.theta = theta
+        self._rng = rng
+        self._cdf = self._build_cdf()
+
+    def _build_cdf(self) -> List[float]:
+        weights = [1.0 / ((rank + 1) ** self.theta) for rank in range(self.item_count)]
+        total = sum(weights)
+        cdf: List[float] = []
+        cumulative = 0.0
+        for weight in weights:
+            cumulative += weight / total
+            cdf.append(cumulative)
+        cdf[-1] = 1.0
+        return cdf
+
+    def next(self) -> int:
+        """Draw the next item index."""
+        u = self._rng.random()
+        return bisect.bisect_left(self._cdf, u)
+
+    def probability(self, rank: int) -> float:
+        """The probability of drawing the item at ``rank`` (0-based)."""
+        if rank < 0 or rank >= self.item_count:
+            raise WorkloadError(f"rank {rank} outside the key space")
+        previous = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - previous
+
+
+__all__ = ["ZipfianGenerator"]

@@ -1,0 +1,240 @@
+"""Tests for core value types, configuration, state machine, and collection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClusterSpec, HamavaConfig, SystemConfig, failure_threshold
+from repro.core.messages import ReconfigAck, RequestJoin, RequestLeave
+from repro.core.reconfiguration import ReconfigurationCollector, RequestTracker
+from repro.core.statemachine import KeyValueStore
+from repro.core.types import (
+    OperationsBundle,
+    Transaction,
+    cluster_order,
+    join_request,
+    leave_request,
+    make_transaction,
+    merge_reconfigs,
+)
+from repro.errors import ConfigurationError
+from repro.net.crypto import KeyRegistry
+from repro.net.latency import LatencyModel
+from repro.net.network import Network, NetworkConfig
+from repro.net.message import Envelope
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+
+class TestFailureThreshold:
+    @pytest.mark.parametrize(
+        "size,expected", [(1, 0), (3, 0), (4, 1), (6, 1), (7, 2), (10, 3), (13, 4)]
+    )
+    def test_paper_formula(self, size, expected):
+        assert failure_threshold(size) == expected
+
+    def test_heterogeneous_example_from_paper(self):
+        # §II: clusters of 4 and 7 have thresholds 1 and 2 respectively.
+        assert failure_threshold(4) == 1
+        assert failure_threshold(7) == 2
+
+
+class TestSystemConfig:
+    def test_build_generates_unique_ids(self):
+        config = SystemConfig.build([(4, "us-west1"), (7, "asia-south1")])
+        assert config.total_replicas() == 11
+        assert len(set(config.all_replicas())) == 11
+        assert config.faults(0) == 1
+        assert config.faults(1) == 2
+
+    def test_cluster_of_lookup(self):
+        config = SystemConfig.build([(3, "us-west1"), (3, "us-west1")])
+        assert config.cluster_of("c1/r2") == 1
+        with pytest.raises(ConfigurationError):
+            config.cluster_of("ghost")
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(clusters={0: ClusterSpec(0, "us-west1", [])}).validate()
+
+    def test_duplicate_members_rejected(self):
+        spec = ClusterSpec(0, "us-west1", ["a", "a"])
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_overlapping_clusters_rejected(self):
+        config = SystemConfig(
+            clusters={
+                0: ClusterSpec(0, "us-west1", ["a", "b", "c"]),
+                1: ClusterSpec(1, "us-west1", ["c", "d", "e"]),
+            }
+        )
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_initial_view_is_independent_copy(self):
+        config = SystemConfig.build([(3, "us-west1")])
+        view = config.initial_view()
+        view[0].add("intruder")
+        assert "intruder" not in config.members(0)
+
+
+class TestHamavaConfig:
+    def test_with_engine_does_not_mutate_original(self):
+        base = HamavaConfig()
+        other = base.with_engine("bftsmart")
+        assert base.engine == "hotstuff"
+        assert other.engine == "bftsmart"
+
+    def test_with_timeouts(self):
+        config = HamavaConfig().with_timeouts(remote_timeout=3.0, instance_timeout=4.0, brd_timeout=5.0)
+        assert config.remote_timeout == 3.0
+        assert config.consensus.instance_timeout == 4.0
+        assert config.brd_timeout == 5.0
+
+
+class TestTransactionsAndBundles:
+    def test_make_transaction_ids_are_unique(self):
+        a = make_transaction("c", "r", "write", "k", "v")
+        b = make_transaction("c", "r", "write", "k", "v")
+        assert a.txn_id != b.txn_id
+
+    def test_is_read(self):
+        assert make_transaction("c", "r", "read", "k").is_read
+        assert not make_transaction("c", "r", "write", "k", "v").is_read
+
+    def test_merge_reconfigs_union_sorted(self):
+        a = join_request("x", 0)
+        b = leave_request("y", 0)
+        merged = merge_reconfigs([(a,), (b, a)])
+        assert merged == tuple(sorted({a, b}))
+
+    def test_cluster_order_is_ascending(self):
+        bundles = {2: OperationsBundle(2, 1), 0: OperationsBundle(0, 1), 1: OperationsBundle(1, 1)}
+        assert cluster_order(bundles) == [0, 1, 2]
+
+    def test_bundle_accounting(self):
+        bundle = OperationsBundle(
+            cluster_id=0,
+            round_number=1,
+            transactions=[make_transaction("c", "r", "write", "k", "v")],
+            reconfigs=(join_request("x", 0),),
+        )
+        assert bundle.operation_count() == 2
+        assert bundle.size_bytes() > 1024
+
+
+class TestKeyValueStore:
+    def test_write_then_read(self):
+        store = KeyValueStore()
+        store.apply(make_transaction("c", "r", "write", "k", "v1"))
+        assert store.read("k") == "v1"
+        assert store.applied == 1
+
+    def test_read_returns_current_value(self):
+        store = KeyValueStore()
+        txn = make_transaction("c", "r", "read", "missing")
+        assert store.apply(txn) is None
+
+    def test_snapshot_restore_roundtrip(self):
+        store = KeyValueStore()
+        store.apply(make_transaction("c", "r", "write", "a", "1"))
+        snapshot = store.snapshot()
+        other = KeyValueStore()
+        other.restore(snapshot)
+        assert other.read("a") == "1"
+        # Restoring is a copy, not an alias.
+        store.apply(make_transaction("c", "r", "write", "a", "2"))
+        assert other.read("a") == "1"
+
+    def test_fingerprint_tracks_writes(self):
+        store = KeyValueStore()
+        assert store.fingerprint() == (0, 0)
+        store.apply(make_transaction("c", "r", "write", "a", "1"))
+        assert store.fingerprint() == (1, 1)
+
+
+class CollectorHost(Process):
+    def __init__(self, process_id, simulator, network, members):
+        super().__init__(process_id, simulator)
+        network.register(self, "us-west1")
+        self.acks = []
+        self.collector = ReconfigurationCollector(
+            owner=process_id,
+            cluster_id=0,
+            network=network,
+            members_fn=lambda: members,
+            round_fn=lambda: 1,
+        )
+
+    def on_message(self, sender, envelope):
+        if isinstance(envelope.payload, ReconfigAck):
+            self.acks.append(sender)
+        else:
+            self.collector.on_message(sender, envelope)
+
+
+class TestReconfigurationCollector:
+    def _setup(self):
+        simulator = Simulator(seed=6)
+        registry = KeyRegistry(seed=6)
+        network = Network(
+            simulator, LatencyModel(simulator.rng), registry, NetworkConfig(cpu_model=False)
+        )
+        members = ["p0", "p1", "p2", "p3"]
+        hosts = [CollectorHost(m, simulator, network, members) for m in members]
+        joiner = CollectorHost("newbie", simulator, network, members)
+        return simulator, network, hosts, joiner
+
+    def test_join_request_collected_and_acked(self):
+        simulator, network, hosts, joiner = self._setup()
+        message = RequestJoin(cluster_id=0, round_number=1, region="us-west1")
+        for host in hosts:
+            network.send("newbie", host.process_id, message,
+                         network.registry.sign("newbie", message.digest()))
+        simulator.run(until=1.0)
+        for host in hosts:
+            assert join_request("newbie", 0, "us-west1") in host.collector.current_recs()
+        assert len(joiner.acks) == 4
+
+    def test_leave_request_collected(self):
+        simulator, network, hosts, _ = self._setup()
+        message = RequestLeave(cluster_id=0, round_number=1)
+        network.send("p3", "p0", message, network.registry.sign("p3", message.digest()))
+        simulator.run(until=1.0)
+        assert leave_request("p3", 0) in hosts[0].collector.current_recs()
+
+    def test_wrong_cluster_ignored(self):
+        simulator, network, hosts, _ = self._setup()
+        message = RequestJoin(cluster_id=9, round_number=1)
+        network.send("newbie", "p0", message, network.registry.sign("newbie", message.digest()))
+        simulator.run(until=1.0)
+        assert hosts[0].collector.pending_count() == 0
+
+    def test_mark_applied_removes_and_blocks_recollection(self):
+        simulator, network, hosts, _ = self._setup()
+        request = join_request("newbie", 0)
+        collector = hosts[0].collector
+        collector.add(request)
+        collector.mark_applied([request])
+        assert collector.pending_count() == 0
+        collector.add(request)
+        assert collector.pending_count() == 0
+
+
+class TestRequestTracker:
+    def test_quorum_satisfaction(self):
+        tracker = RequestTracker(lambda: 3)
+        assert tracker.should_retry()
+        tracker.record_ack("a")
+        tracker.record_ack("b")
+        assert not tracker.satisfied
+        assert tracker.record_ack("c")
+        assert not tracker.should_retry()
+
+    def test_duplicate_acks_do_not_count_twice(self):
+        tracker = RequestTracker(lambda: 2)
+        tracker.record_ack("a")
+        tracker.record_ack("a")
+        assert not tracker.satisfied
+        assert tracker.ack_count() == 1

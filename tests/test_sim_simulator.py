@@ -1,0 +1,171 @@
+"""Tests for the discrete-event simulator and timers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+from repro.sim.simulator import Simulator
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_preserve_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        for name in "abcde":
+            queue.push(1.0, lambda n=name: fired.append(n))
+        while (event := queue.pop()) is not None:
+            event.callback()
+        assert fired == list("abcde")
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, lambda: fired.append("keep"))
+        drop = queue.push(0.5, lambda: fired.append("drop"))
+        drop.cancel()
+        event = queue.pop()
+        assert event is keep
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.push(-1.0, lambda: None)
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(0.5, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+
+class TestSimulator:
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append("early"))
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run(until=2.0)
+        assert seen == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert seen == ["early", "late"]
+
+    def test_run_for_is_relative(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_for(3.0)
+        assert sim.now == 3.0
+        sim.run_for(2.0)
+        assert sim.now == 5.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        order = []
+
+        def outer():
+            order.append(("outer", sim.now))
+            sim.schedule(0.5, inner)
+
+        def inner():
+            order.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert order == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.1, rearm)
+
+        sim.schedule(0.1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(until=1000.0, max_events=50)
+
+    def test_stop_interrupts_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i * 0.1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestTimer:
+    def test_timer_fires_after_duration(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.timer(2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        assert fired == [2.0]
+
+    def test_timer_stop_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.timer(2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(1.0, timer.stop)
+        sim.run()
+        assert fired == []
+
+    def test_timer_restart_extends_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.timer(2.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(1.5, timer.reset)
+        sim.run()
+        assert fired == [3.5]
+
+    def test_timer_pending_and_remaining(self):
+        sim = Simulator()
+        timer = sim.timer(4.0, lambda: None)
+        assert not timer.pending
+        timer.start()
+        assert timer.pending
+        assert timer.remaining() == pytest.approx(4.0)
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert not timer.pending
