@@ -1,0 +1,35 @@
+"""Importable helpers shared across the benchmark suite.
+
+Mirrors ``tests/helpers.py``: benchmark modules import constants from this
+uniquely named module instead of ``conftest.py``, so running tests and
+benchmarks together never resolves the wrong ``conftest`` off ``sys.path``.
+
+Every benchmark regenerates one table or figure of the paper.  The default
+scale is reduced (fewer nodes, a few simulated seconds) so the whole suite
+finishes in minutes; set ``REPRO_FULL_SCALE=1`` (and optionally
+``REPRO_DURATION`` / ``REPRO_TOTAL_NODES``) to run at paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Reduced defaults so the full suite completes quickly.
+BENCH_DURATION = float(os.environ.get("REPRO_DURATION", "1.5"))
+BENCH_NODES = int(os.environ.get("REPRO_TOTAL_NODES", "36"))
+BENCH_THREADS = int(os.environ.get("REPRO_THREADS", "12"))
+BENCH_CLUSTER_COUNTS = (2, 3, 4, 6)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+__all__ = [
+    "BENCH_CLUSTER_COUNTS",
+    "BENCH_DURATION",
+    "BENCH_NODES",
+    "BENCH_THREADS",
+    "run_once",
+]

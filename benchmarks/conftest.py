@@ -1,9 +1,4 @@
-"""Shared configuration for the benchmark suite.
-
-Every benchmark regenerates one table or figure of the paper.  The default
-scale is reduced (fewer nodes, a few simulated seconds) so the whole suite
-finishes in minutes; set ``REPRO_FULL_SCALE=1`` (and optionally
-``REPRO_DURATION`` / ``REPRO_TOTAL_NODES``) to run at paper scale.
+"""Shared configuration for the benchmark suite (helpers in ``bench_helpers``).
 
 Each benchmark prints the rows/series it measured, so running
 ``pytest benchmarks/ --benchmark-only -s`` shows the reproduced numbers next
@@ -11,18 +6,3 @@ to the timing data pytest-benchmark records.
 """
 
 from __future__ import annotations
-
-import os
-
-import pytest
-
-#: Reduced defaults so the full suite completes quickly.
-BENCH_DURATION = float(os.environ.get("REPRO_DURATION", "1.5"))
-BENCH_NODES = int(os.environ.get("REPRO_TOTAL_NODES", "36"))
-BENCH_THREADS = int(os.environ.get("REPRO_THREADS", "12"))
-BENCH_CLUSTER_COUNTS = (2, 3, 4, 6)
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

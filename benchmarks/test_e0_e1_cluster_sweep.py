@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import BENCH_CLUSTER_COUNTS, BENCH_DURATION, BENCH_NODES, BENCH_THREADS, run_once
+from bench_helpers import BENCH_CLUSTER_COUNTS, BENCH_DURATION, BENCH_NODES, BENCH_THREADS, run_once
 from repro.harness import experiments
 
 

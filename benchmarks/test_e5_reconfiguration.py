@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import BENCH_THREADS, run_once
+from bench_helpers import BENCH_THREADS, run_once
 from repro.harness import experiments
 
 

@@ -3,7 +3,8 @@
 At t=3s the leader of cluster 0 turns Byzantine in the sneakiest way the
 paper considers (E4.3): it keeps behaving correctly *inside* its cluster but
 silently stops sending the inter-cluster broadcast, so only remote clusters
-can notice.  The remote cluster's replicas time out, gather a local quorum of
+can notice.  The attack is one declarative ``byzantine_leader`` event on the
+scenario; the remote cluster's replicas time out, gather a local quorum of
 complaints, send a remote complaint carrying ``2f+1`` signatures, and force
 cluster 0 to rotate its leader — after which throughput recovers.
 
@@ -14,24 +15,22 @@ Run with::
 
 from __future__ import annotations
 
-from repro import HamavaConfig, build_deployment
-from repro.harness.faults import FaultInjector
+from repro import Scenario
 
 
 def main() -> None:
-    config = HamavaConfig().with_timeouts(
-        remote_timeout=2.0, instance_timeout=2.0, brd_timeout=2.0
+    deployment = (
+        Scenario("byzantine_failover")
+        .clusters(4, 7)
+        .engine("bftsmart")
+        .timeouts(2.0)
+        .config(retry_timeout=2.0)
+        .threads(12)
+        .seed(13)
+        .byzantine_leader(0, at=3.0)
+        .build()
     )
-    config.retry_timeout = 2.0
-    deployment = build_deployment(
-        [(4, "us-west1"), (7, "us-west1")],
-        engine="bftsmart",
-        seed=13,
-        config=config,
-        client_threads=12,
-    )
-    injector = FaultInjector(deployment)
-    bad_leader = injector.silence_leader_inter_broadcast(0, at_time=3.0)
+    bad_leader = deployment.leader_of(0).process_id
 
     metrics = deployment.run(duration=12.0, warmup=0.0)
 

@@ -2,10 +2,10 @@
 
 This is the scenario the paper motivates in the introduction: a global
 financial infrastructure where regions add capacity (joins) and retire nodes
-(leaves) without stopping transaction processing.  The example adds two
-replicas to the US cluster and retires one from the Asian cluster while a
-YCSB workload runs, then shows that throughput survives the churn and that
-every replica converges to the same membership view.
+(leaves) without stopping transaction processing.  The whole schedule is
+declared up front on the scenario builder — two joins against the US
+cluster, one leave from the Asian cluster — and compiles to the same
+deployment the old imperative ``add_joiner``/``schedule_leave`` calls built.
 
 Run with::
 
@@ -14,26 +14,23 @@ Run with::
 
 from __future__ import annotations
 
-from repro import HamavaConfig, build_deployment
+from repro import Scenario
 
 
 def main() -> None:
-    config = HamavaConfig().with_timeouts(
-        remote_timeout=5.0, instance_timeout=5.0, brd_timeout=5.0
+    deployment = (
+        Scenario("geo_reconfiguration")
+        .clusters((7, "us-west1"), (7, "asia-south1"))
+        .engine("hotstuff")
+        .timeouts(5.0)
+        .threads(12)
+        .seed(11)
+        # Two new replicas ask to join the US cluster; one Asian replica retires.
+        .join(0, at=2.0, replica_id="us-new-1", region="us-west1")
+        .join(0, at=2.5, replica_id="us-new-2", region="us-west1")
+        .leave("c1/r6", at=4.0)
+        .build()
     )
-    deployment = build_deployment(
-        [(7, "us-west1"), (7, "asia-south1")],
-        engine="hotstuff",
-        seed=11,
-        config=config,
-        client_threads=12,
-    )
-
-    # Two new replicas ask to join the US cluster; one Asian replica retires.
-    deployment.add_joiner(0, at_time=2.0, replica_id="us-new-1", region="us-west1")
-    deployment.add_joiner(0, at_time=2.5, replica_id="us-new-2", region="us-west1")
-    deployment.schedule_leave("c1/r6", at_time=4.0)
-
     metrics = deployment.run(duration=8.0, warmup=0.5)
 
     print("Geo-reconfiguration example — joins and leaves on a live system")

@@ -1,9 +1,9 @@
 """Quickstart: replicate a key-value store across two heterogeneous clusters.
 
-Builds a two-cluster Hamava deployment (4 replicas in the US, 7 in Europe —
-different sizes, which homogeneous clustered protocols cannot express), runs
-a YCSB-style workload for a few simulated seconds, and prints throughput,
-latency, and the per-stage round breakdown.
+Declares a two-cluster Hamava scenario with the fluent builder (4 replicas
+in the US, 7 in Europe — different sizes, which homogeneous clustered
+protocols cannot express), runs a YCSB-style workload for a few simulated
+seconds, and prints throughput, latency, and the per-stage round breakdown.
 
 Run with::
 
@@ -12,19 +12,18 @@ Run with::
 
 from __future__ import annotations
 
-from repro import HamavaConfig, build_deployment
+from repro import Scenario
 
 
 def main() -> None:
-    config = HamavaConfig().with_timeouts(
-        remote_timeout=5.0, instance_timeout=5.0, brd_timeout=5.0
-    )
-    deployment = build_deployment(
-        [(4, "us-west1"), (7, "europe-west3")],
-        engine="hotstuff",
-        seed=7,
-        config=config,
-        client_threads=12,
+    deployment = (
+        Scenario("quickstart")
+        .clusters((4, "us-west1"), (7, "europe-west3"))
+        .engine("hotstuff")
+        .timeouts(5.0)
+        .threads(12)
+        .seed(7)
+        .build()
     )
     metrics = deployment.run(duration=5.0, warmup=1.0)
 

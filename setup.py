@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Hamava: fault-tolerant reconfigurable geo-replication on heterogeneous "
         "clusters (ICDE 2025) — Python reproduction"

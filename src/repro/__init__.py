@@ -3,14 +3,33 @@
 A pure-Python, simulation-backed reproduction of *Hamava: Fault-tolerant
 Reconfigurable Geo-Replication on Heterogeneous Clusters* (ICDE 2025).
 
-Quickstart::
+Quickstart — declare a scenario, run it, read the row::
 
-    from repro import build_deployment
+    from repro import Scenario
 
-    deployment = build_deployment([(4, "us-west1"), (7, "europe-west3")],
-                                  engine="hotstuff", seed=7)
-    metrics = deployment.run(duration=5.0, warmup=1.0)
-    print(metrics.summary())
+    row = (
+        Scenario("quickstart")
+        .clusters((4, "us-west1"), (7, "europe-west3"))
+        .engine("hotstuff")
+        .seed(7)
+        .duration(5.0, warmup=1.0)
+        .run_one()
+    )
+    print(row.throughput, row.latency_mean)
+
+Schedules — joins, leaves, crashes, Byzantine leaders, churn loops — are
+declarative events on the same builder::
+
+    Scenario("churny").clusters(7, 7).join(0, at=2.0).leave("r1.6", at=4.0)
+
+Scenarios compile to serializable :class:`ScenarioSpec` objects
+(``spec().to_json()`` / ``ScenarioSpec.from_json``), and multi-seed grids
+run through :class:`ScenarioRunner`, optionally across worker processes::
+
+    from repro import ScenarioRunner
+
+    rows = ScenarioRunner(workers=4).run(scenarios, seeds=[1, 2, 3])
+    ScenarioRunner.save(rows, "results.json")
 
 See ``examples/`` for complete scenarios and ``benchmarks/`` for the
 reproduction of every table and figure in the paper.
@@ -19,26 +38,51 @@ reproduction of every table and figure in the paper.
 from repro.core.config import ClusterSpec, HamavaConfig, SystemConfig
 from repro.core.replica import ByzantineBehavior, HamavaReplica
 from repro.core.types import ReconfigRequest, Transaction, join_request, leave_request
+from repro.harness.builder import DeploymentBuilder, Scenario
 from repro.harness.deployment import Deployment, DeploymentSpec, build_deployment
 from repro.harness.faults import FaultInjector
 from repro.harness.metrics import MetricsCollector
+from repro.harness.runner import ResultRow, ScenarioRunner, run_scenario
+from repro.harness.scenario import (
+    ByzantineEvent,
+    ChurnLoop,
+    CrashEvent,
+    JoinEvent,
+    LeaveEvent,
+    PartitionEvent,
+    ScenarioSpec,
+    register_preset,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ByzantineBehavior",
+    "ByzantineEvent",
+    "ChurnLoop",
     "ClusterSpec",
+    "CrashEvent",
     "Deployment",
+    "DeploymentBuilder",
     "DeploymentSpec",
     "FaultInjector",
     "HamavaConfig",
     "HamavaReplica",
+    "JoinEvent",
+    "LeaveEvent",
     "MetricsCollector",
+    "PartitionEvent",
     "ReconfigRequest",
+    "ResultRow",
+    "Scenario",
+    "ScenarioRunner",
+    "ScenarioSpec",
     "SystemConfig",
     "Transaction",
     "build_deployment",
     "join_request",
     "leave_request",
+    "register_preset",
+    "run_scenario",
     "__version__",
 ]

@@ -19,7 +19,9 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.core.config import HamavaConfig
+from repro.harness.builder import Scenario
 from repro.harness.deployment import Deployment, DeploymentSpec
+from repro.harness.scenario import register_preset
 
 
 def geobft_config(base: Optional[HamavaConfig] = None) -> HamavaConfig:
@@ -29,6 +31,15 @@ def geobft_config(base: Optional[HamavaConfig] = None) -> HamavaConfig:
     config.parallel_reconfig = False
     config.pipeline_local_ordering = True
     return config
+
+
+#: Scenario preset: ``Scenario(...).preset("geobft")`` runs this baseline.
+register_preset("geobft", geobft_config)
+
+
+def geobft_scenario(name: str = "geobft") -> Scenario:
+    """A fluent builder preconfigured for the GeoBFT baseline (E6)."""
+    return Scenario(name).preset("geobft").engine("bftsmart")
 
 
 def build_geobft_deployment(
@@ -49,4 +60,4 @@ def build_geobft_deployment(
     return Deployment(spec)
 
 
-__all__ = ["build_geobft_deployment", "geobft_config"]
+__all__ = ["build_geobft_deployment", "geobft_config", "geobft_scenario"]

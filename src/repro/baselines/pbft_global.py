@@ -15,7 +15,27 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from repro.core.config import HamavaConfig
+from repro.harness.builder import Scenario
 from repro.harness.deployment import Deployment, DeploymentSpec
+
+
+def global_pbft_scenario(
+    total_nodes: int,
+    regions: Optional[Sequence[str]] = None,
+    name: str = "pbft_global",
+    engine: str = "bftsmart",
+) -> Scenario:
+    """A fluent builder for the single-group baseline spanning ``regions``.
+
+    The one "cluster" contains every replica; replicas are spread
+    round-robin across the regions through per-replica placement, so the
+    group genuinely spans the WAN.
+    """
+    regions = list(regions or ["us-west1"])
+    scenario = Scenario(name).clusters((total_nodes, regions[0])).engine(engine)
+    for index in range(total_nodes):
+        scenario.place(f"c0/r{index}", regions[index % len(regions)])
+    return scenario
 
 
 def build_global_pbft_deployment(
@@ -55,4 +75,4 @@ def build_global_pbft_deployment(
     return Deployment(spec)
 
 
-__all__ = ["build_global_pbft_deployment"]
+__all__ = ["build_global_pbft_deployment", "global_pbft_scenario"]

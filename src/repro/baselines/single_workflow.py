@@ -12,7 +12,9 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.core.config import HamavaConfig
+from repro.harness.builder import Scenario
 from repro.harness.deployment import Deployment, DeploymentSpec
+from repro.harness.scenario import register_preset
 
 
 def single_workflow_config(base: Optional[HamavaConfig] = None) -> HamavaConfig:
@@ -20,6 +22,15 @@ def single_workflow_config(base: Optional[HamavaConfig] = None) -> HamavaConfig:
     config = base or HamavaConfig()
     config.parallel_reconfig = False
     return config
+
+
+#: Scenario preset: ``Scenario(...).preset("single_workflow")`` runs the ablation.
+register_preset("single_workflow", single_workflow_config)
+
+
+def single_workflow_scenario(name: str = "single_workflow") -> Scenario:
+    """A fluent builder preconfigured for the single-workflow ablation (E5.2)."""
+    return Scenario(name).preset("single_workflow")
 
 
 def build_single_workflow_deployment(
@@ -41,4 +52,8 @@ def build_single_workflow_deployment(
     return Deployment(spec)
 
 
-__all__ = ["build_single_workflow_deployment", "single_workflow_config"]
+__all__ = [
+    "build_single_workflow_deployment",
+    "single_workflow_config",
+    "single_workflow_scenario",
+]

@@ -1,13 +1,49 @@
-"""Experiment harness: deployments, metrics, fault injection, experiments.
+"""Experiment harness: scenarios, deployments, metrics, faults, experiments.
 
-The harness assembles simulator + network + replicas + clients into a
-runnable deployment, collects the metrics the paper reports (throughput,
-latency, per-stage breakdown, throughput time series), and provides runners
-for every experiment in the paper's evaluation (E0–E8).
+The experiment-facing entry point is the declarative scenario API: the
+fluent :class:`Scenario` builder compiles to serializable
+:class:`ScenarioSpec` objects, and the :class:`ScenarioRunner` executes
+spec lists across seeds (optionally over a process pool) into typed
+:class:`ResultRow` results.  Underneath, a :class:`Deployment` assembles
+simulator + network + replicas + clients, and the
+:class:`MetricsCollector` answers the questions the paper's figures plot.
+Runners for every experiment in the evaluation (E0–E8) live in
+:mod:`repro.harness.experiments`.
 """
 
-from repro.harness.deployment import Deployment, DeploymentSpec
+from repro.harness.builder import DeploymentBuilder, Scenario
+from repro.harness.deployment import Deployment, DeploymentSpec, build_deployment
 from repro.harness.faults import FaultInjector
 from repro.harness.metrics import MetricsCollector
+from repro.harness.runner import ResultRow, ScenarioRunner, run_scenario
+from repro.harness.scenario import (
+    ByzantineEvent,
+    ChurnLoop,
+    CrashEvent,
+    JoinEvent,
+    LeaveEvent,
+    PartitionEvent,
+    ScenarioSpec,
+    register_preset,
+)
 
-__all__ = ["Deployment", "DeploymentSpec", "FaultInjector", "MetricsCollector"]
+__all__ = [
+    "ByzantineEvent",
+    "ChurnLoop",
+    "CrashEvent",
+    "Deployment",
+    "DeploymentBuilder",
+    "DeploymentSpec",
+    "FaultInjector",
+    "JoinEvent",
+    "LeaveEvent",
+    "MetricsCollector",
+    "PartitionEvent",
+    "ResultRow",
+    "Scenario",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "build_deployment",
+    "register_preset",
+    "run_scenario",
+]

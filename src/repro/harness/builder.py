@@ -1,0 +1,327 @@
+"""Fluent scenario builder: compose experiments in a few declarative lines.
+
+The builder is the experiment-facing entry point of the harness::
+
+    from repro import Scenario
+
+    rows = (
+        Scenario("e4")
+        .clusters(4, 4)
+        .engine("hotstuff")
+        .crash("r0.1", at=2.0)
+        .join(cluster=1, at=3.0)
+        .duration(8.0, warmup=1.0)
+        .seeds(1, 2, 3)
+        .run(workers=2)
+    )
+
+Every fluent call returns the builder, ``specs()`` compiles one
+:class:`~repro.harness.scenario.ScenarioSpec` per requested seed, and
+``run()`` hands them to a :class:`~repro.harness.runner.ScenarioRunner`.
+Replica references accept both the canonical ``"c0/r1"`` ids and the
+shorthand ``"r0.1"`` (cluster 0, replica 1).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import HamavaConfig
+from repro.errors import ConfigurationError
+from repro.harness.scenario import (
+    DEFAULT_REGION,
+    ByzantineEvent,
+    ChurnLoop,
+    CrashEvent,
+    JoinEvent,
+    LeaveEvent,
+    PartitionEvent,
+    ScenarioSpec,
+)
+
+_SHORTHAND = re.compile(r"^r(\d+)\.(\d+)$")
+
+ClusterShape = Union[int, Tuple[int, str], List[object]]
+
+
+def normalize_replica_ref(ref: str) -> str:
+    """Map the ``"r<cluster>.<index>"`` shorthand to a ``"c<cluster>/r<index>"`` id."""
+    match = _SHORTHAND.match(ref)
+    if match:
+        return f"c{match.group(1)}/r{match.group(2)}"
+    return ref
+
+
+class Scenario:
+    """Composable builder that compiles to :class:`ScenarioSpec` objects."""
+
+    def __init__(self, name: str = "scenario") -> None:
+        self._spec = ScenarioSpec(name=name, clusters=[])
+        self._seeds: List[int] = []
+        self._default_region = DEFAULT_REGION
+        self._bare_clusters: List[int] = []  # indices placed in the default region
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    def clusters(self, *shapes: ClusterShape, region: Optional[str] = None) -> "Scenario":
+        """Add clusters: bare sizes (``4, 4``) or ``(size, region)`` pairs."""
+        for shape in shapes:
+            if isinstance(shape, int):
+                if region is None:
+                    self._bare_clusters.append(len(self._spec.clusters))
+                self._spec.clusters.append((shape, region or self._default_region))
+            else:
+                size, shape_region = shape
+                self._spec.clusters.append((int(size), str(shape_region)))
+        return self
+
+    def region(self, region: str) -> "Scenario":
+        """Default region for clusters added without an explicit one."""
+        self._default_region = region
+        for index in self._bare_clusters:
+            size, _ = self._spec.clusters[index]
+            self._spec.clusters[index] = (size, region)
+        return self
+
+    def place(self, replica: str, region: str) -> "Scenario":
+        """Pin one replica to a region (heterogeneous E3-style placement)."""
+        self._spec.region_overrides[normalize_replica_ref(replica)] = region
+        return self
+
+    def place_many(self, overrides: Dict[str, str]) -> "Scenario":
+        """Pin several replicas to regions at once."""
+        for replica, region in overrides.items():
+            self.place(replica, region)
+        return self
+
+    def rtt(self, region_a: str, region_b: str, rtt_ms: float) -> "Scenario":
+        """Override the round-trip time between two regions (E8 sweeps)."""
+        self._spec.rtt_overrides.append((region_a, region_b, float(rtt_ms)))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # System variant and configuration
+    # ------------------------------------------------------------------ #
+    def engine(self, engine: str) -> "Scenario":
+        """Select the local ordering engine (``"hotstuff"``/``"bftsmart"``)."""
+        self._spec.engine = engine
+        return self
+
+    def preset(self, preset: str) -> "Scenario":
+        """Select a system preset (``"hamava"``, ``"geobft"``, ...)."""
+        self._spec.preset = preset
+        return self
+
+    def config(self, base: Optional[HamavaConfig] = None, **overrides: object) -> "Scenario":
+        """Set the base protocol config and/or flat field overrides."""
+        if base is not None:
+            self._spec.config = base
+        self._spec.config_overrides.update(overrides)
+        return self
+
+    def timeouts(self, remote: float, instance: Optional[float] = None, brd: Optional[float] = None) -> "Scenario":
+        """Shorthand for the three fault-detection timeouts at once."""
+        overrides: Dict[str, object] = {"remote_timeout": remote}
+        overrides["instance_timeout"] = instance if instance is not None else remote
+        overrides["brd_timeout"] = brd if brd is not None else remote
+        self._spec.config_overrides.update(overrides)
+        return self
+
+    def replica_class(self, replica_class: Union[str, type]) -> "Scenario":
+        """Use a custom replica implementation (class or ``"module:Class"``)."""
+        self._spec.replica_class = replica_class
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Workload and clients
+    # ------------------------------------------------------------------ #
+    def workload(self, **fields: object) -> "Scenario":
+        """Override YCSB workload parameters (``read_fraction``, ...)."""
+        for key, value in fields.items():
+            if not hasattr(self._spec.workload, key):
+                raise ConfigurationError(f"unknown workload field {key!r}")
+            setattr(self._spec.workload, key, value)
+        return self
+
+    def latency(self, **fields: object) -> "Scenario":
+        """Override latency-model constants."""
+        for key, value in fields.items():
+            if not hasattr(self._spec.latency, key):
+                raise ConfigurationError(f"unknown latency field {key!r}")
+            setattr(self._spec.latency, key, value)
+        return self
+
+    def network(self, **fields: object) -> "Scenario":
+        """Override network processing-cost constants."""
+        for key, value in fields.items():
+            if not hasattr(self._spec.network, key):
+                raise ConfigurationError(f"unknown network field {key!r}")
+            setattr(self._spec.network, key, value)
+        return self
+
+    def threads(self, client_threads: int) -> "Scenario":
+        """Closed-loop threads per workload client."""
+        self._spec.client_threads = int(client_threads)
+        return self
+
+    def clients_per_cluster(self, count: int) -> "Scenario":
+        """Number of workload clients per cluster."""
+        self._spec.clients_per_cluster = int(count)
+        return self
+
+    def churn_region(self, region: str) -> "Scenario":
+        """Region churn/reconfiguration clients are registered in."""
+        self._spec.churn_client_region = region
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Run shape
+    # ------------------------------------------------------------------ #
+    def duration(self, duration: float, warmup: Optional[float] = None) -> "Scenario":
+        """Virtual seconds to simulate (and, optionally, the warmup cutoff)."""
+        self._spec.duration = float(duration)
+        if warmup is not None:
+            self._spec.warmup = float(warmup)
+        return self
+
+    def warmup(self, warmup: float) -> "Scenario":
+        """Exclude completions before this virtual time from metrics."""
+        self._spec.warmup = float(warmup)
+        return self
+
+    def seed(self, seed: int) -> "Scenario":
+        """Single scenario seed (see :meth:`seeds` for multi-seed grids).
+
+        The latest of :meth:`seed`/:meth:`seeds` wins, so calling this
+        after :meth:`seeds` collapses the grid back to one seed.
+        """
+        self._spec.seed = int(seed)
+        self._seeds = []
+        return self
+
+    def seeds(self, *seeds: int) -> "Scenario":
+        """Run this scenario once per seed (compiles to one spec per seed)."""
+        self._seeds = [int(seed) for seed in seeds]
+        return self
+
+    def timeseries(self, bucket: float = 1.0) -> "Scenario":
+        """Collect a throughput time series with the given bucket width."""
+        self._spec.timeseries_bucket = float(bucket)
+        return self
+
+    def stages(self) -> "Scenario":
+        """Collect the per-stage latency breakdown (E2)."""
+        self._spec.collect_stages = True
+        return self
+
+    def label(self, **labels: object) -> "Scenario":
+        """Attach free-form tags that are copied into result rows."""
+        self._spec.labels.update(labels)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Schedule
+    # ------------------------------------------------------------------ #
+    def join(
+        self,
+        cluster: int,
+        at: float,
+        replica_id: Optional[str] = None,
+        region: Optional[str] = None,
+    ) -> "Scenario":
+        """Schedule a join request against ``cluster`` at time ``at``."""
+        self._spec.schedule.append(JoinEvent(cluster=cluster, at=at, replica_id=replica_id, region=region))
+        return self
+
+    def leave(self, replica: str, at: float) -> "Scenario":
+        """Schedule an existing replica's leave request."""
+        self._spec.schedule.append(LeaveEvent(replica=normalize_replica_ref(replica), at=at))
+        return self
+
+    def crash(self, replica: str, at: float) -> "Scenario":
+        """Crash-stop one replica at time ``at``."""
+        self._spec.schedule.append(CrashEvent(at=at, replica=normalize_replica_ref(replica)))
+        return self
+
+    def crash_leader(self, cluster: int, at: float) -> "Scenario":
+        """Crash the leader of ``cluster`` (E4.2)."""
+        self._spec.schedule.append(CrashEvent(at=at, cluster=cluster, scope="leader"))
+        return self
+
+    def crash_non_leaders(self, cluster: int, at: float, count: Optional[int] = None) -> "Scenario":
+        """Crash up to ``f`` (or ``count``) non-leader replicas (E4.1)."""
+        self._spec.schedule.append(CrashEvent(at=at, cluster=cluster, scope="non_leaders", count=count))
+        return self
+
+    def byzantine_leader(self, cluster: int, at: float) -> "Scenario":
+        """Silence the leader's inter-cluster broadcast from time ``at`` (E4.3)."""
+        self._spec.schedule.append(ByzantineEvent(cluster=cluster, at=at))
+        return self
+
+    def partition(self, cluster_a: int, cluster_b: int, at: float, duration: float) -> "Scenario":
+        """Drop traffic between two clusters for ``duration`` seconds."""
+        self._spec.schedule.append(
+            PartitionEvent(cluster_a=cluster_a, cluster_b=cluster_b, at=at, duration=duration)
+        )
+        return self
+
+    def churn(
+        self,
+        start: float,
+        period: float,
+        stop: Optional[float] = None,
+        clusters: Sequence[int] = (0,),
+        prefix: str = "churn",
+        region: Optional[str] = None,
+    ) -> "Scenario":
+        """Add a periodic join loop (E5.2/E7/E8-style churn)."""
+        self._spec.schedule.append(
+            ChurnLoop(
+                start=start,
+                period=period,
+                stop=stop,
+                clusters=tuple(clusters),
+                prefix=prefix,
+                region=region,
+            )
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def spec(self) -> ScenarioSpec:
+        """Compile to a single spec (first seed when several were given)."""
+        spec = self._spec.with_seed(self._seeds[0] if self._seeds else self._spec.seed)
+        if not spec.clusters:
+            spec.clusters = [(4, self._default_region)]
+        spec.validate()
+        return spec
+
+    def specs(self) -> List[ScenarioSpec]:
+        """Compile to one spec per requested seed."""
+        base = self.spec()
+        seeds = self._seeds if self._seeds else [base.seed]
+        return [base.with_seed(seed) for seed in seeds]
+
+    def build(self):
+        """Compile and build the deployment for the first seed."""
+        return self.spec().build()
+
+    def run(self, workers: int = 1):
+        """Execute all seeds, optionally in parallel; returns result rows."""
+        from repro.harness.runner import ScenarioRunner
+
+        return ScenarioRunner(workers=workers).run(self)
+
+    def run_one(self):
+        """Execute the first seed only; returns a single result row."""
+        return self.spec().run()
+
+
+#: Alias: both names refer to the same fluent builder.
+DeploymentBuilder = Scenario
+
+__all__ = ["DeploymentBuilder", "Scenario", "normalize_replica_ref"]

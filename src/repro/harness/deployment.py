@@ -40,6 +40,8 @@ class DeploymentSpec:
         replica_class: Replica implementation (Hamava or a baseline).
         region_overrides: Optional per-replica region placement, used by the
             non-clustered baseline whose single "cluster" spans regions.
+        reconfig_client_region: Region churn/reconfiguration clients are
+            registered in; defaults to the first cluster's region.
     """
 
     clusters: Sequence[Tuple[int, str]]
@@ -52,6 +54,7 @@ class DeploymentSpec:
     clients_per_cluster: int = 1
     replica_class: Type[HamavaReplica] = HamavaReplica
     region_overrides: Dict[str, str] = field(default_factory=dict)
+    reconfig_client_region: Optional[str] = None
 
 
 class Deployment:
@@ -214,9 +217,19 @@ class Deployment:
             at_time, replica.request_leave, label=f"leave:{replica_id}"
         )
 
-    def add_reconfig_client(self, client: ReconfigurationClient) -> None:
-        """Attach a churn client (E7/E8 style schedules)."""
-        self.network.register(client, "us-west1")
+    def add_reconfig_client(self, client: ReconfigurationClient, region: Optional[str] = None) -> None:
+        """Attach a churn client (E7/E8 style schedules).
+
+        The client is registered in ``region`` when given, else the spec's
+        ``reconfig_client_region``, else the first cluster's region — so
+        multi-region deployments place churn next to the clusters they churn
+        instead of a hard-coded location.
+        """
+        if region is None:
+            region = self.spec.reconfig_client_region
+        if region is None:
+            region = self.system_config.region_of_cluster(self.system_config.cluster_ids()[0])
+        self.network.register(client, region)
         self.reconfig_clients.append(client)
         if self._started:
             client.start()
@@ -229,10 +242,26 @@ def build_deployment(
     config: Optional[HamavaConfig] = None,
     **spec_kwargs,
 ) -> Deployment:
-    """Convenience constructor used by examples and benchmarks."""
-    config = (config or HamavaConfig()).with_engine(engine)
-    spec = DeploymentSpec(clusters=clusters, config=config, seed=seed, **spec_kwargs)
-    return Deployment(spec)
+    """Compatibility shim over the declarative scenario API.
+
+    Existing call sites keep working; new code should prefer
+    :class:`repro.harness.builder.Scenario` /
+    :class:`repro.harness.scenario.ScenarioSpec`, which add schedules,
+    serialization, and multi-seed execution on top of the same path.
+    """
+    from repro.harness.scenario import ScenarioSpec
+
+    if "reconfig_client_region" in spec_kwargs:
+        spec_kwargs["churn_client_region"] = spec_kwargs.pop("reconfig_client_region")
+    scenario = ScenarioSpec(
+        name="build_deployment",
+        clusters=[tuple(cluster) for cluster in clusters],
+        engine=engine,
+        seed=seed,
+        config=config,
+        **spec_kwargs,
+    )
+    return scenario.build()
 
 
 __all__ = ["Deployment", "DeploymentSpec", "build_deployment"]

@@ -1,9 +1,13 @@
 """Runners for every experiment in the paper's evaluation (E0–E8, Tables I/II).
 
-Each ``run_*`` function builds the deployments for one figure/table, runs
-them on the simulator, and returns a list of result rows (dictionaries) that
-mirror the series the paper plots.  The benchmark suite and the examples are
-thin wrappers around these runners.
+Each ``run_*`` function declares the scenarios for one figure/table with the
+fluent :class:`~repro.harness.builder.Scenario` builder, executes them
+through a :class:`~repro.harness.runner.ScenarioRunner`, and returns a list
+of result rows (dictionaries) that mirror the series the paper plots.  The
+benchmark suite and the examples are thin wrappers around these runners.
+Runners that execute a grid of scenarios accept ``workers`` to fan the grid
+out over a process pool (the single-scenario runners ``run_e4`` and
+``run_e5_join_leave`` have nothing to parallelize).
 
 Scale notes: the paper runs 96-node deployments for three minutes of wall
 time on Google Cloud.  The runners default to smaller node counts and a few
@@ -20,13 +24,9 @@ import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.complexity import complexity_table
-from repro.baselines.geobft import build_geobft_deployment
-from repro.baselines.single_workflow import build_single_workflow_deployment
-from repro.core.config import HamavaConfig
-from repro.harness.deployment import Deployment, DeploymentSpec, build_deployment
-from repro.harness.faults import FaultInjector
+from repro.harness.builder import Scenario
+from repro.harness.runner import ResultRow, ScenarioRunner
 from repro.net.latency import paper_rtt_matrix
-from repro.workload.clients import ReconfigurationClient
 
 #: Region rotation used when spreading clusters across the paper's 3 regions.
 PAPER_REGIONS = ("us-west1", "europe-west3", "asia-south1")
@@ -75,16 +75,16 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
-def _fast_config(engine: str) -> HamavaConfig:
-    """A configuration with fault-detection timeouts sized for short runs."""
-    config = HamavaConfig().with_engine(engine).with_timeouts(
-        remote_timeout=5.0, instance_timeout=5.0, brd_timeout=5.0
-    )
-    # Clients must fail over quickly when churn or faults remove the replica
-    # they were talking to; the paper's 3-minute runs can afford long client
-    # retries, seconds-long simulations cannot.
-    config.retry_timeout = 2.0
-    return config
+#: Fault-detection/retry overrides sized for short simulated runs.  Clients
+#: must fail over quickly when churn or faults remove the replica they were
+#: talking to; the paper's 3-minute runs can afford long retries, seconds-long
+#: simulations cannot.
+FAST_TIMEOUTS: Dict[str, object] = {
+    "remote_timeout": 5.0,
+    "instance_timeout": 5.0,
+    "brd_timeout": 5.0,
+    "retry_timeout": 2.0,
+}
 
 
 def _split_nodes(total: int, clusters: int) -> List[int]:
@@ -94,9 +94,15 @@ def _split_nodes(total: int, clusters: int) -> List[int]:
     return [base + (1 if index < remainder else 0) for index in range(clusters)]
 
 
-def _measure(deployment: Deployment, duration: float, warmup: float) -> Dict[str, float]:
-    metrics = deployment.run(duration=duration, warmup=warmup)
-    return metrics.summary()
+def _sweep_shapes(total_nodes: int, clusters: int, multi_region: bool) -> List[Tuple[int, str]]:
+    sizes = _split_nodes(total_nodes, clusters)
+    if multi_region:
+        return [(size, PAPER_REGIONS[index % len(PAPER_REGIONS)]) for index, size in enumerate(sizes)]
+    return [(size, "us-west1") for size in sizes]
+
+
+def _run_all(scenarios: Sequence[Scenario], workers: int) -> List[ResultRow]:
+    return ScenarioRunner(workers=workers).run(scenarios)
 
 
 # ---------------------------------------------------------------------- #
@@ -130,39 +136,38 @@ def run_cluster_sweep(
     warmup: float = 0.5,
     client_threads: int = 24,
     seed: int = 1,
+    workers: int = 1,
 ) -> List[Row]:
     """Shared sweep behind E0 (single region) and E1 (three regions)."""
     total_nodes = total_nodes if total_nodes is not None else default_nodes(48)
     duration = duration if duration is not None else default_duration(2.5)
-    rows: List[Row] = []
-    for engine in engines:
-        for clusters in cluster_counts:
-            sizes = _split_nodes(total_nodes, clusters)
-            if multi_region:
-                specs = [(size, PAPER_REGIONS[index % len(PAPER_REGIONS)]) for index, size in enumerate(sizes)]
-            else:
-                specs = [(size, "us-west1") for size in sizes]
-            deployment = build_deployment(
-                specs,
-                engine=engine,
-                seed=seed,
-                config=_fast_config(engine),
-                client_threads=client_threads,
-            )
-            summary = _measure(deployment, duration, warmup)
-            rows.append(
-                {
-                    "engine": engine,
-                    "clusters": clusters,
-                    "nodes": total_nodes,
-                    "regions": 3 if multi_region else 1,
-                    "throughput": summary["throughput_total"],
-                    "latency_mean": summary["latency_mean"],
-                    "latency_write": summary["latency_mean_write"],
-                    "rounds": summary["rounds"],
-                }
-            )
-    return rows
+    scenarios = [
+        Scenario(f"sweep/{engine}/z{clusters}")
+        .clusters(*_sweep_shapes(total_nodes, clusters, multi_region))
+        .engine(engine)
+        .config(**FAST_TIMEOUTS)
+        .threads(client_threads)
+        .duration(duration, warmup=warmup)
+        .seed(seed)
+        .label(
+            engine=engine,
+            clusters=clusters,
+            nodes=total_nodes,
+            regions=3 if multi_region else 1,
+        )
+        for engine in engines
+        for clusters in cluster_counts
+    ]
+    return [
+        {
+            **row.labels,
+            "throughput": row.throughput,
+            "latency_mean": row.latency_mean,
+            "latency_write": row.latency_write,
+            "rounds": row.rounds,
+        }
+        for row in _run_all(scenarios, workers)
+    ]
 
 
 def run_e0(**kwargs) -> List[Row]:
@@ -186,6 +191,7 @@ def run_e2(
     warmup: float = 0.5,
     client_threads: int = 12,
     seed: int = 2,
+    workers: int = 1,
 ) -> List[Row]:
     """E2: per-stage latency breakdown for 3 clusters of 4 nodes (Fig. 4a)."""
     duration = duration if duration is not None else default_duration(3.0)
@@ -194,29 +200,29 @@ def run_e2(
         "2 regions": ["europe-west3", "asia-south1", "asia-south1"],
         "3 regions": ["europe-west3", "asia-south1", "us-west1"],
     }
-    rows: List[Row] = []
-    for label, regions in setups.items():
-        deployment = build_deployment(
-            [(4, region) for region in regions],
-            engine=engine,
-            seed=seed,
-            config=_fast_config(engine),
-            client_threads=client_threads,
-        )
-        metrics = deployment.run(duration=duration, warmup=warmup)
-        breakdown = metrics.stage_breakdown()
-        rows.append(
-            {
-                "setup": label,
-                "engine": engine,
-                "intra_cluster_ms": breakdown["stage1"] * 1000,
-                "inter_cluster_ms": breakdown["stage2"] * 1000,
-                "execution_ms": breakdown["stage3"] * 1000,
-                "read_latency_ms": metrics.mean_latency(op="read") * 1000,
-                "write_latency_ms": metrics.mean_latency(op="write") * 1000,
-            }
-        )
-    return rows
+    scenarios = [
+        Scenario(f"e2/{label}")
+        .clusters(*[(4, region) for region in regions])
+        .engine(engine)
+        .config(**FAST_TIMEOUTS)
+        .threads(client_threads)
+        .duration(duration, warmup=warmup)
+        .seed(seed)
+        .stages()
+        .label(setup=label, engine=engine)
+        for label, regions in setups.items()
+    ]
+    return [
+        {
+            **row.labels,
+            "intra_cluster_ms": row.stages["stage1"] * 1000,
+            "inter_cluster_ms": row.stages["stage2"] * 1000,
+            "execution_ms": row.stages["stage3"] * 1000,
+            "read_latency_ms": row.latency_read * 1000,
+            "write_latency_ms": row.latency_write * 1000,
+        }
+        for row in _run_all(scenarios, workers)
+    ]
 
 
 # ---------------------------------------------------------------------- #
@@ -252,52 +258,38 @@ def run_e3(
     warmup: float = 0.5,
     client_threads: int = 16,
     seed: int = 3,
+    workers: int = 1,
 ) -> List[Row]:
     """E3: impact of heterogeneity on throughput and latency (Fig. 4b–4e)."""
     duration = duration if duration is not None else default_duration(2.5)
-    rows: List[Row] = []
-    for engine in engines:
-        for scale in scales:
-            for setup_name, (clusters, overrides) in heterogeneity_setups(scale).items():
-                spec = DeploymentSpec(
-                    clusters=clusters,
-                    config=_fast_config(engine),
-                    seed=seed,
-                    client_threads=client_threads,
-                    region_overrides=overrides,
-                )
-                deployment = Deployment(spec)
-                summary = _measure(deployment, duration, warmup)
-                rows.append(
-                    {
-                        "engine": engine,
-                        "scale": scale,
-                        "setup": setup_name,
-                        "throughput": summary["throughput_total"],
-                        "latency_mean": summary["latency_mean"],
-                        "latency_write": summary["latency_mean_write"],
-                    }
-                )
-    return rows
+    scenarios = [
+        Scenario(f"e3/{engine}/s{scale}/{setup_name}")
+        .clusters(*clusters)
+        .engine(engine)
+        .config(**FAST_TIMEOUTS)
+        .place_many(overrides)
+        .threads(client_threads)
+        .duration(duration, warmup=warmup)
+        .seed(seed)
+        .label(engine=engine, scale=scale, setup=setup_name)
+        for engine in engines
+        for scale in scales
+        for setup_name, (clusters, overrides) in heterogeneity_setups(scale).items()
+    ]
+    return [
+        {
+            **row.labels,
+            "throughput": row.throughput,
+            "latency_mean": row.latency_mean,
+            "latency_write": row.latency_write,
+        }
+        for row in _run_all(scenarios, workers)
+    ]
 
 
 # ---------------------------------------------------------------------- #
 # E4: failures
 # ---------------------------------------------------------------------- #
-def _failure_deployment(engine: str, seed: int, client_threads: int, nodes_per_cluster: int = 10) -> Deployment:
-    config = HamavaConfig().with_engine(engine).with_timeouts(
-        remote_timeout=3.0, instance_timeout=3.0, brd_timeout=3.0
-    )
-    config.retry_timeout = 3.0
-    return build_deployment(
-        [(nodes_per_cluster, "us-west1"), (nodes_per_cluster, "us-west1")],
-        engine=engine,
-        seed=seed,
-        config=config,
-        client_threads=client_threads,
-    )
-
-
 def run_e4(
     scenario: str,
     engine: str = "hotstuff",
@@ -314,19 +306,27 @@ def run_e4(
             ``"byzantine_leader"`` (E4.3).
     """
     duration = duration if duration is not None else default_duration(12.0)
-    deployment = _failure_deployment(engine, seed, client_threads, nodes_per_cluster)
-    injector = FaultInjector(deployment)
+    builder = (
+        Scenario(f"e4/{scenario}")
+        .clusters(nodes_per_cluster, nodes_per_cluster)
+        .engine(engine)
+        .timeouts(3.0)
+        .config(retry_timeout=3.0)
+        .threads(client_threads)
+        .duration(duration)
+        .seed(seed)
+        .timeseries(bucket=1.0)
+    )
     if scenario == "non_leader":
         for cluster_id in (0, 1):
-            injector.crash_non_leaders(cluster_id, at_time=fault_time)
+            builder.crash_non_leaders(cluster_id, at=fault_time)
     elif scenario == "leader":
-        injector.crash_leader(0, at_time=fault_time)
+        builder.crash_leader(0, at=fault_time)
     elif scenario == "byzantine_leader":
-        injector.silence_leader_inter_broadcast(0, at_time=fault_time)
+        builder.byzantine_leader(0, at=fault_time)
     else:
         raise ValueError(f"unknown E4 scenario {scenario!r}")
-    metrics = deployment.run(duration=duration, warmup=0.0)
-    series = metrics.throughput_timeseries(bucket=1.0, until=duration)
+    row = builder.run_one()
     return [
         {
             "scenario": scenario,
@@ -335,7 +335,7 @@ def run_e4(
             "throughput": value,
             "fault_time": fault_time,
         }
-        for start, value in series
+        for start, value in row.series
     ]
 
 
@@ -352,34 +352,32 @@ def run_e5_join_leave(
 ) -> Dict[str, object]:
     """E5.1: join and leave bursts against two 7-node clusters (Fig. 5a)."""
     duration = duration if duration is not None else default_duration(12.0)
-    config = _fast_config(engine)
-    deployment = build_deployment(
-        [(7, "us-west1"), (7, "us-west1")],
-        engine=engine,
-        seed=seed,
-        config=config,
-        client_threads=client_threads,
-    )
     join_time = duration * 0.25
     leave_time = duration * 0.6
-    joiners = []
+    builder = (
+        Scenario("e5/join_leave")
+        .clusters(7, 7)
+        .engine(engine)
+        .config(**FAST_TIMEOUTS)
+        .threads(client_threads)
+        .duration(duration)
+        .seed(seed)
+        .timeseries(bucket=1.0)
+    )
     for cluster_id in (0, 1):
         for index in range(joins):
-            joiners.append(
-                deployment.add_joiner(cluster_id, at_time=join_time + 0.2 * index,
-                                      replica_id=f"new{cluster_id}.{index}")
-            )
+            builder.join(cluster_id, at=join_time + 0.2 * index, replica_id=f"new{cluster_id}.{index}")
         for index in range(leaves):
-            deployment.schedule_leave(f"c{cluster_id}/r{6 - index}", at_time=leave_time + 0.2 * index)
-    metrics = deployment.run(duration=duration, warmup=0.0)
-    series = metrics.throughput_timeseries(bucket=1.0, until=duration)
+            builder.leave(f"c{cluster_id}/r{6 - index}", at=leave_time + 0.2 * index)
+    row = builder.run_one()
+    series = [(start, value) for start, value in row.series]
     return {
         "engine": engine,
         "series": series,
         "join_time": join_time,
         "leave_time": leave_time,
-        "joins_completed": len(metrics.joins_completed),
-        "reconfigs_applied": len(metrics.reconfigs),
+        "joins_completed": row.joins_completed,
+        "reconfigs_applied": row.reconfigs_applied,
         "throughput_before": _window_mean(series, 1.0, join_time),
         # "After" means after the churn has settled: the last two seconds of
         # the run, once clients have failed over away from departed replicas.
@@ -387,7 +385,7 @@ def run_e5_join_leave(
     }
 
 
-def _window_mean(series: List[Tuple[float, float]], start: float, end: float) -> float:
+def _window_mean(series: Sequence[Tuple[float, float]], start: float, end: float) -> float:
     values = [value for t, value in series if start <= t < end]
     return sum(values) / len(values) if values else 0.0
 
@@ -398,46 +396,32 @@ def run_e5_workflows(
     client_threads: int = 16,
     seed: int = 6,
     churn_period: float = 1.0,
+    workers: int = 1,
 ) -> List[Row]:
     """E5.2: parallel reconfiguration workflow vs single workflow (Fig. 5b)."""
     duration = duration if duration is not None else default_duration(10.0)
-    rows: List[Row] = []
-    for variant in ("parallel", "single"):
-        config = _fast_config(engine)
-        if variant == "parallel":
-            deployment = build_deployment(
-                [(10, "us-west1"), (8, "us-west1")],
-                engine=engine,
-                seed=seed,
-                config=config,
-                client_threads=client_threads,
-            )
-        else:
-            deployment = build_single_workflow_deployment(
-                [(10, "us-west1"), (8, "us-west1")],
-                engine=engine,
-                seed=seed,
-                config=config,
-                client_threads=client_threads,
-            )
-        start = duration * 0.3
-        churn_index = 0
-        t = start
-        while t < duration - 1.0:
-            deployment.add_joiner(0, at_time=t, replica_id=f"churn{churn_index}")
-            churn_index += 1
-            t += churn_period
-        metrics = deployment.run(duration=duration, warmup=0.5)
-        rows.append(
-            {
-                "engine": engine,
-                "variant": variant,
-                "throughput": metrics.throughput(),
-                "latency_write": metrics.mean_latency(op="write"),
-                "reconfigs_applied": len(metrics.reconfigs),
-            }
-        )
-    return rows
+    scenarios = [
+        Scenario(f"e5/workflows/{variant}")
+        .clusters(10, 8)
+        .engine(engine)
+        .preset("hamava" if variant == "parallel" else "single_workflow")
+        .config(**FAST_TIMEOUTS)
+        .threads(client_threads)
+        .duration(duration, warmup=0.5)
+        .seed(seed)
+        .churn(start=duration * 0.3, period=churn_period, clusters=(0,), prefix="churn")
+        .label(engine=engine, variant=variant)
+        for variant in ("parallel", "single")
+    ]
+    return [
+        {
+            **row.labels,
+            "throughput": row.throughput,
+            "latency_write": row.latency_write,
+            "reconfigs_applied": row.reconfigs_applied,
+        }
+        for row in _run_all(scenarios, workers)
+    ]
 
 
 # ---------------------------------------------------------------------- #
@@ -451,34 +435,40 @@ def run_e6(
     warmup: float = 0.5,
     client_threads: int = 24,
     seed: int = 7,
+    workers: int = 1,
 ) -> List[Row]:
     """E6: AVA-HOTSTUFF vs GeoBFT across cluster counts (Fig. 6a/6b)."""
     total_nodes = total_nodes if total_nodes is not None else default_nodes(48)
     duration = duration if duration is not None else default_duration(2.5)
+    scenarios: List[Scenario] = []
+    for clusters in cluster_counts:
+        shapes = _sweep_shapes(total_nodes, clusters, multi_region)
+        for preset in ("hamava", "geobft"):
+            scenarios.append(
+                Scenario(f"e6/{preset}/z{clusters}")
+                .clusters(*shapes)
+                .engine("hotstuff" if preset == "hamava" else "bftsmart")
+                .preset(preset)
+                .config(**FAST_TIMEOUTS)
+                .threads(client_threads)
+                .duration(duration, warmup=warmup)
+                .seed(seed)
+                .label(clusters=clusters)
+            )
+    results = _run_all(scenarios, workers)
+    by_cell = {(row.preset, row.labels["clusters"]): row for row in results}
     rows: List[Row] = []
     for clusters in cluster_counts:
-        sizes = _split_nodes(total_nodes, clusters)
-        if multi_region:
-            specs = [(size, PAPER_REGIONS[index % len(PAPER_REGIONS)]) for index, size in enumerate(sizes)]
-        else:
-            specs = [(size, "us-west1") for size in sizes]
-        ava = build_deployment(
-            specs, engine="hotstuff", seed=seed, config=_fast_config("hotstuff"),
-            client_threads=client_threads,
-        )
-        ava_summary = _measure(ava, duration, warmup)
-        geo = build_geobft_deployment(
-            specs, seed=seed, client_threads=client_threads, config=_fast_config("bftsmart"),
-        )
-        geo_summary = _measure(geo, duration, warmup)
+        ava = by_cell[("hamava", clusters)]
+        geo = by_cell[("geobft", clusters)]
         rows.append(
             {
                 "clusters": clusters,
                 "regions": 3 if multi_region else 1,
-                "ava_hotstuff_throughput": ava_summary["throughput_total"],
-                "geobft_throughput": geo_summary["throughput_total"],
-                "ava_hotstuff_latency": ava_summary["latency_mean"],
-                "geobft_latency": geo_summary["latency_mean"],
+                "ava_hotstuff_throughput": ava.throughput,
+                "geobft_throughput": geo.throughput,
+                "ava_hotstuff_latency": ava.latency_mean,
+                "geobft_latency": geo.latency_mean,
             }
         )
     return rows
@@ -492,40 +482,38 @@ def run_e7(
     duration: Optional[float] = None,
     client_threads: int = 16,
     seed: int = 8,
+    workers: int = 1,
 ) -> List[Row]:
     """E7: impact of reconfiguration frequency on performance (Fig. 7)."""
     duration = duration if duration is not None else default_duration(10.0)
     frequencies = {"none": None, "periodic": 2.0, "continuous": 0.5}
-    rows: List[Row] = []
+    scenarios: List[Scenario] = []
     for engine in engines:
         for label, period in frequencies.items():
-            config = _fast_config(engine)
-            deployment = build_deployment(
-                [(10, "us-west1"), (10, "us-west1")],
-                engine=engine,
-                seed=seed,
-                config=config,
-                client_threads=client_threads,
+            builder = (
+                Scenario(f"e7/{engine}/{label}")
+                .clusters(10, 10)
+                .engine(engine)
+                .config(**FAST_TIMEOUTS)
+                .threads(client_threads)
+                .duration(duration, warmup=duration * 0.35)
+                .seed(seed)
+                .label(engine=engine, reconfig_frequency=label)
             )
             if period is not None:
-                start = duration * 0.3
-                index = 0
-                t = start
-                while t < duration - 1.0:
-                    deployment.add_joiner(index % 2, at_time=t, replica_id=f"freq{engine}.{index}")
-                    index += 1
-                    t += period
-            metrics = deployment.run(duration=duration, warmup=duration * 0.35)
-            rows.append(
-                {
-                    "engine": engine,
-                    "reconfig_frequency": label,
-                    "throughput": metrics.throughput(),
-                    "latency_write": metrics.mean_latency(op="write"),
-                    "reconfigs_applied": len(metrics.reconfigs),
-                }
-            )
-    return rows
+                builder.churn(
+                    start=duration * 0.3, period=period, clusters=(0, 1), prefix=f"freq{engine}."
+                )
+            scenarios.append(builder)
+    return [
+        {
+            **row.labels,
+            "throughput": row.throughput,
+            "latency_write": row.latency_write,
+            "reconfigs_applied": row.reconfigs_applied,
+        }
+        for row in _run_all(scenarios, workers)
+    ]
 
 
 # ---------------------------------------------------------------------- #
@@ -537,6 +525,7 @@ def run_e8(
     client_threads: int = 16,
     seed: int = 9,
     churn_period: float = 1.0,
+    workers: int = 1,
 ) -> List[Row]:
     """E8: impact of inter-cluster latency during reconfiguration (Fig. 8)."""
     duration = duration if duration is not None else default_duration(8.0)
@@ -546,40 +535,38 @@ def run_e8(
         "europe-west3": 142.0,
         "asia-south1": 219.0,
     }
-    rows: List[Row] = []
-    for engine in engines:
-        for region, rtt in remote_sites.items():
-            config = _fast_config(engine)
-            deployment = build_deployment(
-                [(10, "us-west1"), (10, region)],
-                engine=engine,
-                seed=seed,
-                config=config,
-                client_threads=client_threads,
-            )
-            deployment.latency_model.set_rtt("us-west1", region, rtt)
-            start = duration * 0.3
-            index = 0
-            t = start
-            while t < duration - 1.0:
-                deployment.add_joiner(index % 2, at_time=t, replica_id=f"e8{engine}.{region}.{index}")
-                index += 1
-                t += churn_period
-            metrics = deployment.run(duration=duration, warmup=duration * 0.35)
-            rows.append(
-                {
-                    "engine": engine,
-                    "second_cluster_region": region,
-                    "rtt_ms": rtt,
-                    "throughput": metrics.throughput(),
-                    "latency_write": metrics.mean_latency(op="write"),
-                    "reconfigs_applied": len(metrics.reconfigs),
-                }
-            )
-    return rows
+    scenarios = [
+        Scenario(f"e8/{engine}/{region}")
+        .clusters((10, "us-west1"), (10, region))
+        .engine(engine)
+        .config(**FAST_TIMEOUTS)
+        .rtt("us-west1", region, rtt)
+        .threads(client_threads)
+        .duration(duration, warmup=duration * 0.35)
+        .seed(seed)
+        .churn(
+            start=duration * 0.3,
+            period=churn_period,
+            clusters=(0, 1),
+            prefix=f"e8{engine}.{region}.",
+        )
+        .label(engine=engine, second_cluster_region=region, rtt_ms=rtt)
+        for engine in engines
+        for region, rtt in remote_sites.items()
+    ]
+    return [
+        {
+            **row.labels,
+            "throughput": row.throughput,
+            "latency_write": row.latency_write,
+            "reconfigs_applied": row.reconfigs_applied,
+        }
+        for row in _run_all(scenarios, workers)
+    ]
 
 
 __all__ = [
+    "FAST_TIMEOUTS",
     "PAPER_REGIONS",
     "default_duration",
     "default_nodes",

@@ -1,0 +1,203 @@
+"""Scenario execution: multi-seed grids, parallel fan-out, typed results.
+
+:class:`ScenarioRunner` executes a list of scenarios (specs or fluent
+builders) across seeds and returns one :class:`ResultRow` per (scenario,
+seed) pair, in submission order.  With ``workers > 1`` the grid fans out
+over a :mod:`multiprocessing` pool; every run is driven entirely by its
+scenario seed, so parallel execution produces rows byte-identical to serial
+execution.  Rows persist to JSON (:meth:`ScenarioRunner.save` /
+:meth:`ScenarioRunner.load`) so benchmark results can be archived and
+re-plotted without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.harness.scenario import ScenarioSpec
+
+
+@dataclass
+class ResultRow:
+    """The measurements of one (scenario, seed) data point.
+
+    The flat fields mirror :meth:`MetricsCollector.summary`; ``stages`` and
+    ``series`` are filled only when the scenario asked for them
+    (``collect_stages`` / ``timeseries_bucket``); ``labels`` carries the
+    scenario's free-form tags (sweep coordinates, variant names, ...).
+    """
+
+    scenario: str
+    seed: int
+    engine: str
+    preset: str
+    throughput: float
+    throughput_reads: float
+    throughput_writes: float
+    latency_mean: float
+    latency_read: float
+    latency_write: float
+    latency_p99: float
+    operations: int
+    rounds: int
+    reconfigs_applied: int
+    joins_completed: int
+    labels: Dict[str, object] = field(default_factory=dict)
+    stages: Optional[Dict[str, float]] = None
+    series: Optional[List[List[float]]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable description of this row (covers every field)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ResultRow":
+        """Rebuild a row from :meth:`to_dict` output."""
+        data = dict(payload)
+        series = data.get("series")
+        data["series"] = None if series is None else [list(point) for point in series]
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string (stable key order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def run_scenario(spec: ScenarioSpec) -> ResultRow:
+    """Build, execute, and summarize one scenario spec."""
+    deployment = spec.build()
+    metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+    summary = metrics.summary()
+    series: Optional[List[List[float]]] = None
+    if spec.timeseries_bucket is not None:
+        series = [
+            [start, value]
+            for start, value in metrics.throughput_timeseries(
+                bucket=spec.timeseries_bucket, until=spec.duration
+            )
+        ]
+    return ResultRow(
+        scenario=spec.name,
+        seed=spec.seed,
+        engine=deployment.spec.config.engine,
+        preset=spec.preset,
+        throughput=summary["throughput_total"],
+        throughput_reads=summary["throughput_reads"],
+        throughput_writes=summary["throughput_writes"],
+        latency_mean=summary["latency_mean"],
+        latency_read=summary["latency_mean_read"],
+        latency_write=summary["latency_mean_write"],
+        latency_p99=summary["latency_p99"],
+        operations=int(summary["operations"]),
+        rounds=int(summary["rounds"]),
+        reconfigs_applied=len(metrics.reconfigs),
+        joins_completed=len(metrics.joins_completed),
+        labels=dict(spec.labels),
+        stages=metrics.stage_breakdown() if spec.collect_stages else None,
+        series=series,
+    )
+
+
+def _run_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Pool worker: rebuild the spec from plain data, run, return plain data."""
+    return run_scenario(ScenarioSpec.from_dict(payload)).to_dict()
+
+
+ScenarioLike = Union[ScenarioSpec, "Scenario"]  # noqa: F821 - builder import is lazy
+
+
+class ScenarioRunner:
+    """Executes scenario grids, serially or across a process pool.
+
+    Args:
+        workers: Process-pool size; ``1`` (default) runs in-process.
+        mp_context: Optional :mod:`multiprocessing` start method
+            (``"fork"``/``"spawn"``); the platform default otherwise.
+    """
+
+    def __init__(self, workers: int = 1, mp_context: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------ #
+    # Grid expansion
+    # ------------------------------------------------------------------ #
+    def expand(
+        self,
+        scenarios: Union[ScenarioLike, Iterable[ScenarioLike]],
+        seeds: Optional[Iterable[int]] = None,
+    ) -> List[ScenarioSpec]:
+        """Flatten builders/specs × seeds into an ordered list of specs."""
+        from repro.harness.builder import Scenario
+
+        if isinstance(scenarios, (ScenarioSpec, Scenario)):
+            scenarios = [scenarios]
+        if seeds is not None:
+            seeds = list(seeds)  # a one-shot iterable must expand every scenario
+        specs: List[ScenarioSpec] = []
+        for scenario in scenarios:
+            if isinstance(scenario, Scenario):
+                # With explicit seeds the builder's own seed list is moot;
+                # compile a single spec instead of expanding and discarding.
+                expanded = [scenario.spec()] if seeds is not None else scenario.specs()
+            elif isinstance(scenario, ScenarioSpec):
+                expanded = [scenario]
+            else:
+                raise TypeError(f"expected ScenarioSpec or Scenario builder, got {type(scenario)!r}")
+            if seeds is not None:
+                base = expanded[0]
+                expanded = [base.with_seed(seed) for seed in seeds]
+            specs.extend(expanded)
+        return specs
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        scenarios: Union[ScenarioLike, Iterable[ScenarioLike]],
+        seeds: Optional[Iterable[int]] = None,
+    ) -> List[ResultRow]:
+        """Execute every (scenario, seed) pair; rows come back in order.
+
+        Args:
+            scenarios: One or many specs/builders.
+            seeds: Optional seed list applied to *every* scenario,
+                overriding per-scenario seeds.
+        """
+        specs = self.expand(scenarios, seeds=seeds)
+        if self.workers == 1 or len(specs) <= 1:
+            # Run the original specs directly: no serialization detour, so
+            # e.g. non-importable replica classes work in-process.  Rows are
+            # still byte-identical to the pool path because ResultRow
+            # survives to_dict()/from_dict() losslessly.
+            return [run_scenario(spec) for spec in specs]
+        payloads = [spec.to_dict() for spec in specs]
+        context = multiprocessing.get_context(self.mp_context)
+        with context.Pool(processes=min(self.workers, len(payloads))) as pool:
+            results = pool.map(_run_payload, payloads)
+        return [ResultRow.from_dict(result) for result in results]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def save(rows: Iterable[ResultRow], path: str, indent: int = 2) -> None:
+        """Write rows to ``path`` as a JSON list (stable key order)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump([row.to_dict() for row in rows], handle, indent=indent, sort_keys=True)
+            handle.write("\n")
+
+    @staticmethod
+    def load(path: str) -> List[ResultRow]:
+        """Reload rows previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return [ResultRow.from_dict(payload) for payload in json.load(handle)]
+
+
+__all__ = ["ResultRow", "ScenarioRunner", "run_scenario"]

@@ -1,0 +1,46 @@
+"""Importable helpers shared across the test suite.
+
+These used to live in ``conftest.py``, but test modules importing them via
+``from conftest import ...`` resolved whichever ``conftest.py`` appeared
+first on ``sys.path`` (the benchmarks' one, breaking collection).  A
+uniquely named module keeps the import unambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import HamavaConfig
+from repro.harness.deployment import Deployment, DeploymentSpec
+
+
+def fast_config(engine: str = "hotstuff", **overrides) -> HamavaConfig:
+    """A Hamava configuration with short fault-detection timeouts for tests."""
+    config = HamavaConfig().with_engine(engine).with_timeouts(
+        remote_timeout=2.0, instance_timeout=2.0, brd_timeout=2.0
+    )
+    config.batch_timeout = 0.01
+    config.retry_timeout = 2.0
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def small_deployment(
+    clusters=((4, "us-west1"), (4, "us-west1")),
+    engine: str = "hotstuff",
+    seed: int = 11,
+    client_threads: int = 4,
+    config: HamavaConfig | None = None,
+    **spec_kwargs,
+) -> Deployment:
+    """Build a small two-cluster deployment suitable for integration tests."""
+    spec = DeploymentSpec(
+        clusters=list(clusters),
+        config=config or fast_config(engine),
+        seed=seed,
+        client_threads=client_threads,
+        **spec_kwargs,
+    )
+    return Deployment(spec)
+
+
+__all__ = ["fast_config", "small_deployment"]

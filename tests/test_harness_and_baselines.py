@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import fast_config, small_deployment
+from helpers import fast_config, small_deployment
 from repro.analysis.complexity import complexity_table, format_table, messages_per_decision, protocol
 from repro.baselines.geobft import build_geobft_deployment, geobft_config
 from repro.baselines.pbft_global import build_global_pbft_deployment

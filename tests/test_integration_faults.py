@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import fast_config, small_deployment
+from helpers import fast_config, small_deployment
 from repro.harness.faults import FaultInjector
 
 

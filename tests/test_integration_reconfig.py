@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from conftest import fast_config, small_deployment
+from helpers import fast_config, small_deployment
 from repro.core.config import failure_threshold
 from repro.core.replica import MODE_ACTIVE, MODE_LEFT
 
