@@ -1,0 +1,38 @@
+"""Performance benchmark suite: the repo's perf trajectory lives here.
+
+Three layers, mirroring how the hot path composes:
+
+* :mod:`benchmarks.perf.kernel_bench` — the event kernel alone
+  (schedule/fire throughput and timer-churn behaviour of
+  :class:`repro.sim.events.EventQueue`),
+* :mod:`benchmarks.perf.network_bench` — signed multicast through the
+  simulated network (digest, signing, latency + CPU-queue events),
+* :mod:`benchmarks.perf.macro_bench` — an E0-style end-to-end scenario
+  (full consensus stack), the number that ultimately matters.
+
+``python -m benchmarks.perf`` runs them and writes ``BENCH_perf.json`` at
+the repo root, next to the pre-optimisation baseline recorded in
+:mod:`benchmarks.perf.baseline` so every future PR can report a speedup
+against the same fixed reference.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: Repository root (the directory holding ``benchmarks/`` and ``src/``).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def ensure_importable() -> None:
+    """Make ``repro`` importable when run from a fresh checkout."""
+    src = os.path.join(REPO_ROOT, "src")
+    if src not in sys.path:
+        try:
+            import repro  # noqa: F401
+        except ImportError:
+            sys.path.insert(0, src)
+
+
+__all__ = ["REPO_ROOT", "ensure_importable"]

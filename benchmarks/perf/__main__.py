@@ -1,0 +1,109 @@
+"""CLI entry point: ``python -m benchmarks.perf``.
+
+Runs the kernel, network, and macro benchmarks and writes ``BENCH_perf.json``
+at the repo root (override with ``--output``).  The file carries both the
+fresh results and the fixed pre-optimisation baseline, plus the headline
+speedup ratios, so the perf trajectory is a single self-describing artifact.
+
+Flags:
+    --quick        ~10x smaller workloads (CI smoke).
+    --only NAMES   comma-separated subset: kernel,network,macro.
+    --output PATH  where to write the JSON (default: <repo>/BENCH_perf.json).
+    --record-baseline
+                   also rewrite ``baseline.py`` with these results (use only
+                   when intentionally re-anchoring the baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from benchmarks.perf import REPO_ROOT, ensure_importable
+
+ensure_importable()
+
+from benchmarks.perf import baseline, kernel_bench, macro_bench, network_bench  # noqa: E402
+
+_SUITES = {
+    "kernel": kernel_bench.run,
+    "network": network_bench.run,
+    "macro": macro_bench.run,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="benchmarks.perf", description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller workloads (CI smoke)")
+    parser.add_argument("--only", default="", help="comma-separated subset of: kernel,network,macro")
+    parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_perf.json"))
+    parser.add_argument("--record-baseline", action="store_true")
+    args = parser.parse_args(argv)
+
+    chosen = [name.strip() for name in args.only.split(",") if name.strip()] or list(_SUITES)
+    unknown = sorted(set(chosen) - set(_SUITES))
+    if unknown:
+        parser.error(f"unknown suite(s) {unknown}; choose from {sorted(_SUITES)}")
+    if args.record_baseline and (args.quick or set(chosen) != set(_SUITES)):
+        # A partial or shrunken run must never re-anchor the reference: it
+        # would silently delete the other suites' baselines or record them
+        # at the wrong workload scale.
+        parser.error("--record-baseline requires a full-scale run of every suite "
+                     "(no --quick, no --only)")
+
+    results = {}
+    for name in chosen:
+        print(f"[perf] running {name} benchmarks{' (quick)' if args.quick else ''}...", flush=True)
+        results.update(_SUITES[name](quick=args.quick))
+
+    report = {
+        "schema": 1,
+        "suite": "repro-perf",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+        "baseline": baseline.BASELINE,
+        "headline_metrics": baseline.HEADLINE_METRICS,
+        "speedup_vs_baseline": baseline.speedups(results),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[perf] wrote {args.output}")
+    for name, metrics in results.items():
+        headline = baseline.HEADLINE_METRICS.get(name)
+        value = metrics.get(headline, 0.0) if headline else 0.0
+        ratio = report["speedup_vs_baseline"].get(name)
+        suffix = f"  ({ratio:.2f}x vs baseline)" if ratio else ""
+        print(f"[perf]   {name}: {value:,.0f} {headline}{suffix}")
+
+    if args.record_baseline:
+        _rewrite_baseline(results)
+        print("[perf] baseline.py re-anchored to these results")
+    return 0
+
+
+def _rewrite_baseline(results) -> None:
+    """Rewrite the ``BASELINE = {...}`` block of baseline.py in place."""
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baseline.py")
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    rendered = json.dumps(results, indent=4, sort_keys=True)
+    start = text.index("BASELINE: Dict[str, Dict[str, float]] = ")
+    end = text.index("\n\n", start)
+    text = (
+        text[:start]
+        + "BASELINE: Dict[str, Dict[str, float]] = "
+        + rendered
+        + text[end:]
+    )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

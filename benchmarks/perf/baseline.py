@@ -1,0 +1,64 @@
+"""The pre-optimisation perf baseline every run is compared against.
+
+Recorded once, on the seed hot path (commit 806ae8f: dataclass events
+compared field-by-field in the heap, per-message closures, uncached
+``repr``-based digests, no heap compaction) with::
+
+    PYTHONPATH=src python -m benchmarks.perf --record-baseline
+
+Numbers are machine-dependent; the *speedups* reported next to them are
+not (same machine, same process, same workload sizes).  Re-record only if
+the workload definitions in this package change, and say so in the PR.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Best-of-N results of the seed implementation (filled by --record-baseline).
+BASELINE: Dict[str, Dict[str, float]] = {
+    "kernel_events": {
+        "events": 200000.0,
+        "events_per_sec": 159424.02624601327,
+        "wall_s": 1.254516051999417
+    },
+    "kernel_timer_churn": {
+        "resets": 99968.0,
+        "resets_per_sec": 221816.6402069912,
+        "wall_s": 0.4506785420007873
+    },
+    "macro_e0": {
+        "events": 83361.0,
+        "events_per_sec": 33294.551730094914,
+        "operations": 8216.0,
+        "sim_duration_s": 3.0,
+        "wall_s": 2.503742975000023
+    },
+    "network_multicast": {
+        "messages": 21600.0,
+        "messages_per_sec": 88369.27102936718,
+        "wall_s": 0.24442885799999203
+    }
+}
+
+#: The headline metric of each workload, used for speedup reporting.
+HEADLINE_METRICS: Dict[str, str] = {
+    "kernel_events": "events_per_sec",
+    "kernel_timer_churn": "resets_per_sec",
+    "network_multicast": "messages_per_sec",
+    "macro_e0": "events_per_sec",
+}
+
+
+def speedups(results: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Headline-metric ratios ``current / baseline`` per workload."""
+    ratios: Dict[str, float] = {}
+    for name, metric in HEADLINE_METRICS.items():
+        base = BASELINE.get(name, {}).get(metric)
+        current = results.get(name, {}).get(metric)
+        if base and current:
+            ratios[name] = current / base
+    return ratios
+
+
+__all__ = ["BASELINE", "HEADLINE_METRICS", "speedups"]

@@ -1,0 +1,92 @@
+"""Microbenchmarks for the event kernel (no network, no protocol).
+
+Two workloads:
+
+* ``events`` — push a large batch of events at pseudo-random times, then
+  drain the queue.  Stresses heap ordering, the per-event allocation cost,
+  and the run loop itself.
+* ``timer_churn`` — the leader-watch pattern: long timers that are reset
+  (cancel + re-arm) far more often than they fire.  A kernel that leaves
+  cancelled entries in the heap degrades as the run gets longer; one that
+  compacts stays flat.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import Simulator
+
+
+def bench_events(n: int = 200_000, seed: int = 1234, repeats: int = 3) -> Dict[str, float]:
+    """Schedule ``n`` events at random times and drain the queue."""
+    rng = SeededRng(seed, "kernel-bench")
+    times = [rng.random() * 1000.0 for _ in range(n)]
+    best = float("inf")
+    for _ in range(repeats):
+        sim = Simulator(seed=seed)
+        schedule = sim.schedule
+        started = time.perf_counter()
+        for t in times:
+            schedule(t, _nothing)
+        sim.run()
+        elapsed = time.perf_counter() - started
+        assert sim.events_processed == n
+        best = min(best, elapsed)
+    return {"events": float(n), "wall_s": best, "events_per_sec": n / best}
+
+
+def bench_timer_churn(
+    resets: int = 100_000, timers: int = 64, seed: int = 99, repeats: int = 3
+) -> Dict[str, float]:
+    """Reset a pool of long timers ``resets`` times without letting them fire.
+
+    Every reset cancels one heap entry and pushes a fresh one, so the live
+    event count stays ~``timers`` while the cancelled count grows with the
+    run — exactly the churn leader/remote watchdogs produce per message.
+    """
+    best = float("inf")
+    batches = max(1, resets // timers)
+    for _ in range(repeats):
+        sim = Simulator(seed=seed)
+        pool = [sim.timer(10_000.0, _nothing, name=f"watch{i}") for i in range(timers)]
+        remaining = [batches]
+
+        def tick() -> None:
+            for timer in pool:
+                timer.reset()
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        started = time.perf_counter()
+        sim.run(until=batches * 0.001 + 1.0)
+        elapsed = time.perf_counter() - started
+        for timer in pool:
+            timer.stop()
+        best = min(best, elapsed)
+    total_resets = batches * timers
+    return {
+        "resets": float(total_resets),
+        "wall_s": best,
+        "resets_per_sec": total_resets / best,
+    }
+
+
+def _nothing() -> None:
+    return None
+
+
+def run(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run both kernel workloads; ``quick`` shrinks them for CI smoke runs."""
+    scale = 10 if quick else 1
+    return {
+        "kernel_events": bench_events(n=200_000 // scale),
+        "kernel_timer_churn": bench_timer_churn(resets=100_000 // scale),
+    }
+
+
+__all__ = ["bench_events", "bench_timer_churn", "run"]

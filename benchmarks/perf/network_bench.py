@@ -1,0 +1,92 @@
+"""Microbenchmark for the simulated network hot path.
+
+A ring of processes spread over three regions multicasts signed payloads to
+everyone else in lockstep rounds.  Each message exercises the full per-send
+cost the protocols pay: digest + signing on the sender, a latency event, the
+receiver CPU queue, and signature verification — so this is the number that
+moves when :mod:`repro.net` sheds per-message overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.net.crypto import KeyRegistry
+from repro.net.latency import LatencyModel
+from repro.net.links import AuthenticatedPerfectLink
+from repro.net.message import Message
+from repro.net.network import Network, NetworkConfig
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+
+_REGIONS = ("us-west1", "europe-west3", "asia-south1")
+
+
+@dataclass
+class _Payload(Message):
+    """A payload with enough fields to make ``digest()`` representative."""
+
+    round_number: int
+    sender_index: int
+    body: str = "x" * 64
+
+
+class _Sink(Process):
+    """Counts deliveries; the benchmark asserts nothing was lost."""
+
+    def __init__(self, process_id: str, simulator: Simulator) -> None:
+        super().__init__(process_id, simulator)
+        self.received = 0
+
+    def on_message(self, sender: str, message: object) -> None:
+        self.received += 1
+
+
+def bench_multicast(
+    processes: int = 9, rounds: int = 300, seed: int = 7, repeats: int = 3
+) -> Dict[str, float]:
+    """``rounds`` lockstep all-to-all multicasts across three regions."""
+    best = float("inf")
+    expected = rounds * processes * (processes - 1)
+    for _ in range(repeats):
+        sim = Simulator(seed=seed)
+        registry = KeyRegistry(seed=seed)
+        network = Network(sim, LatencyModel(sim.rng), registry, NetworkConfig())
+        sinks: List[_Sink] = []
+        links: List[AuthenticatedPerfectLink] = []
+        for index in range(processes):
+            sink = _Sink(f"p{index}", sim)
+            network.register(sink, region=_REGIONS[index % len(_REGIONS)])
+            sinks.append(sink)
+            links.append(AuthenticatedPerfectLink(sink.process_id, network))
+        ids = [sink.process_id for sink in sinks]
+
+        def round_of(number: int) -> None:
+            for index, link in enumerate(links):
+                others = [pid for pid in ids if pid != link.owner]
+                link.send_many(others, _Payload(round_number=number, sender_index=index))
+            if number + 1 < rounds:
+                sim.schedule(0.05, lambda n=number + 1: round_of(n))
+
+        sim.schedule(0.0, lambda: round_of(0))
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+        delivered = sum(sink.received for sink in sinks)
+        assert delivered == expected, f"lost messages: {delivered} != {expected}"
+        best = min(best, elapsed)
+    return {
+        "messages": float(expected),
+        "wall_s": best,
+        "messages_per_sec": expected / best,
+    }
+
+
+def run(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run the multicast workload; ``quick`` shrinks it for CI smoke runs."""
+    return {"network_multicast": bench_multicast(rounds=30 if quick else 300)}
+
+
+__all__ = ["bench_multicast", "run"]

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.config import failure_threshold
+from repro.core.replica import MODE_IDLE
 from repro.harness.deployment import Deployment
 
 
@@ -70,13 +71,32 @@ class FaultInjector:
         return leader_id
 
     def partition_clusters(self, cluster_a: int, cluster_b: int, at_time: float, duration: float) -> None:
-        """Temporarily drop all traffic between two clusters."""
+        """Temporarily drop all traffic between two clusters.
+
+        Membership is resolved per envelope while the partition is live, not
+        snapshotted when the fault is scheduled: a replica that joins either
+        cluster before — or even during — the partition window is cut off
+        like any seed member.
+        """
         deployment = self.deployment
-        group_a = deployment.system_config.members(cluster_a)
-        group_b = deployment.system_config.members(cluster_b)
+        replicas = deployment.replicas
+
+        def cluster_side(process_id: str):
+            replica = replicas.get(process_id)
+            if replica is None or replica.mode == MODE_IDLE:
+                return None  # clients and not-yet-joined replicas sit outside
+            return replica.cluster_id
+
+        def rule(envelope) -> bool:
+            sender_side = cluster_side(envelope.sender)
+            if sender_side == cluster_a:
+                return cluster_side(envelope.destination) == cluster_b
+            if sender_side == cluster_b:
+                return cluster_side(envelope.destination) == cluster_a
+            return False
 
         def _install() -> None:
-            rule = deployment.network.partition(group_a, group_b)
+            deployment.network.add_drop_rule(rule)
             deployment.simulator.schedule(
                 duration, lambda: deployment.network.remove_drop_rule(rule), label="fault:heal"
             )

@@ -14,8 +14,9 @@ reconfiguration experiments.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from dataclasses import dataclass, field
+from math import ceil
 from typing import Dict, List, Optional, Tuple
 
 
@@ -188,11 +189,16 @@ class MetricsCollector:
         return sum(r.latency for r in records) / len(records)
 
     def latency_percentile(self, percentile: float, op: Optional[str] = None) -> float:
-        """Latency percentile (e.g. 0.5 for the median, 0.99 for p99)."""
+        """Latency percentile (e.g. 0.5 for the median, 0.99 for p99).
+
+        Nearest-rank: the smallest sample such that at least ``percentile``
+        of the data is at or below it (``int(p * n)`` would be biased one
+        rank high — the p50 of two samples must be the smaller one).
+        """
         records = sorted(r.latency for r in self._windowed(op))
         if not records:
             return 0.0
-        index = min(len(records) - 1, int(percentile * len(records)))
+        index = min(len(records) - 1, max(0, ceil(percentile * len(records)) - 1))
         return records[index]
 
     def throughput_timeseries(self, bucket: float = 1.0, until: Optional[float] = None) -> List[Tuple[float, float]]:
@@ -205,9 +211,10 @@ class MetricsCollector:
         start = 0.0
         while start < horizon:
             end = start + bucket
-            count = bisect_left(times, end) - bisect_right(times, start)
-            # bisect usage above is subtly off for counting; recompute simply.
-            count = sum(1 for t in times if start <= t < end)
+            # Half-open buckets [start, end): bisect_left on both bounds keeps
+            # a completion landing exactly on a bucket boundary in the later
+            # bucket instead of dropping it.
+            count = bisect_left(times, end) - bisect_left(times, start)
             series.append((start, count / bucket))
             start = end
         return series

@@ -4,6 +4,11 @@ Protocol messages are small frozen-ish dataclasses (subclasses of
 :class:`Message`).  The network wraps each payload in an :class:`Envelope`
 that records the sender, destination, the sender's signature over the
 payload digest, and the size in bytes used by the bandwidth model.
+
+Messages are treated as immutable once handed to the network: the digest and
+estimated size are computed lazily and cached per instance, so re-sending or
+re-signing the same payload (retransmits, broadcasts fanned out one link at
+a time) never recomputes the full-field ``repr`` walk.
 """
 
 from __future__ import annotations
@@ -42,21 +47,48 @@ class Message:
         """Approximate serialized size in bytes."""
         return 128
 
+    def cached_size(self) -> int:
+        """:meth:`estimated_size`, computed once per instance.
+
+        The network calls this on every dispatch; bundles recompute their
+        size from nested certificates, so caching it matters on the hot path.
+        """
+        cache = self.__dict__
+        size = cache.get("_size_cache")
+        if size is None:
+            size = self.estimated_size()
+            cache["_size_cache"] = size
+        return size
+
     def verification_cost(self) -> int:
         """Number of signature verifications a receiver performs."""
         return 1
 
     def digest(self) -> str:
-        """Digest of the message contents, used for signing."""
-        parts = [type(self).__name__]
-        for f in fields(self):
-            parts.append(f"{f.name}={payload_digest(getattr(self, f.name))}")
-        return "|".join(parts)
+        """Digest of the message contents, used for signing.
+
+        Cached per instance: messages are logically immutable once signed or
+        sent, so the first computation (a full-field ``repr`` walk) is also
+        the last.
+        """
+        cache = self.__dict__
+        digest = cache.get("_digest_cache")
+        if digest is None:
+            parts = [type(self).__name__]
+            for f in fields(self):
+                parts.append(f"{f.name}={payload_digest(getattr(self, f.name))}")
+            digest = "|".join(parts)
+            cache["_digest_cache"] = digest
+        return digest
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
-    """A routed message: payload plus transport metadata."""
+    """A routed message: payload plus transport metadata.
+
+    Slotted: the network allocates one per (message, destination) pair, which
+    makes envelopes the most-allocated object in any run after events.
+    """
 
     sender: str
     destination: str

@@ -194,70 +194,74 @@ class Network:
         payload: Message,
         signature: Optional[Signature],
     ) -> None:
-        if sender not in self._processes:
+        # This loop runs once per (message, destination) pair — the hottest
+        # code in any simulation after the event loop itself.  Per-message
+        # state (size, type name, config flags) is hoisted out of the loop,
+        # and delivery is scheduled as a bound method with the envelope as
+        # the event argument instead of a fresh closure per message.
+        processes = self._processes
+        if sender not in processes:
             raise NetworkError(f"unknown sender {sender!r}")
-        sender_process = self._processes[sender]
-        if sender_process.crashed:
+        if processes[sender].crashed:
             return
         now = self.simulator.now
-        size = payload.estimated_size()
-        send_cost = self.config.send_overhead if self.config.cpu_model else 0.0
-        departure = max(now, self._cpu_free.get(sender, 0.0)) if self.config.cpu_model else now
+        size = payload.cached_size()
+        type_name = payload.type_name()
+        stats = self.stats
+        by_type = stats.by_type
+        drop_rules = self._drop_rules
+        config = self.config
+        cpu_model = config.cpu_model
+        send_cost = config.send_overhead if cpu_model else 0.0
+        departure = max(now, self._cpu_free.get(sender, 0.0)) if cpu_model else now
+        one_way_latency = self.latency_model.one_way_latency
+        schedule_at = self.simulator.schedule_at
+        deliver = self._deliver
         for destination in destinations:
             departure += send_cost
-            envelope = Envelope(
-                sender=sender,
-                destination=destination,
-                payload=payload,
-                signature=signature,
-                sent_at=now,
-                size_bytes=size,
-            )
-            self.stats.messages_sent += 1
-            self.stats.bytes_sent += size
-            self.stats.by_type[payload.type_name()] += 1
-            if self._should_drop(envelope):
-                self.stats.messages_dropped += 1
+            envelope = Envelope(sender, destination, payload, signature, now, size)
+            stats.messages_sent += 1
+            stats.bytes_sent += size
+            by_type[type_name] += 1
+            if drop_rules and self._should_drop(envelope):
+                stats.messages_dropped += 1
                 continue
-            target = self._processes.get(destination)
-            if target is None:
-                self.stats.messages_dropped += 1
+            if destination not in processes:
+                stats.messages_dropped += 1
                 continue
-            latency = self.latency_model.one_way_latency(sender, destination, size)
-            arrival = departure + latency
-            self.simulator.schedule_at(
-                arrival,
-                lambda env=envelope, arr=arrival: self._deliver(env, arr),
-                label=f"net:{payload.type_name()}:{sender}->{destination}",
-            )
-        if self.config.cpu_model:
+            arrival = departure + one_way_latency(sender, destination, size)
+            schedule_at(arrival, deliver, label="net:deliver", arg=envelope)
+        if cpu_model:
             self._cpu_free[sender] = departure
 
     def _should_drop(self, envelope: Envelope) -> bool:
         return any(rule(envelope) for rule in self._drop_rules)
 
-    def _deliver(self, envelope: Envelope, arrival: float) -> None:
-        target = self._processes.get(envelope.destination)
+    def _deliver(self, envelope: Envelope) -> None:
+        """Arrival at the destination: fires at the envelope's arrival time."""
+        destination = envelope.destination
+        target = self._processes.get(destination)
         if target is None or target.crashed:
             self.stats.messages_dropped += 1
             return
-        if self.config.verify_envelopes and envelope.signature is not None:
+        config = self.config
+        if config.verify_envelopes and envelope.signature is not None:
             if not self.registry.verify(envelope.signature):
                 self.stats.messages_dropped += 1
                 return
-        if self.config.cpu_model:
+        if config.cpu_model:
+            arrival = self.simulator.now
             processing = (
-                self.config.base_processing
-                + envelope.payload.verification_cost() * self.config.signature_verify_cost
+                config.base_processing
+                + envelope.payload.verification_cost() * config.signature_verify_cost
             )
-            start = max(arrival, self._cpu_free.get(envelope.destination, 0.0))
+            cpu_free = self._cpu_free
+            start = cpu_free.get(destination, 0.0)
+            if start < arrival:
+                start = arrival
             finish = start + processing
-            self._cpu_free[envelope.destination] = finish
-            self.simulator.schedule_at(
-                finish,
-                lambda env=envelope: self._hand_over(env),
-                label=f"cpu:{envelope.type_name()}:{envelope.destination}",
-            )
+            cpu_free[destination] = finish
+            self.simulator.schedule_at(finish, self._hand_over, label="net:cpu", arg=envelope)
         else:
             self._hand_over(envelope)
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, EventQueue
+from repro.sim.events import ARG, CALLBACK, TIME, Event, EventQueue
 from repro.sim.rng import SeededRng
 
 
@@ -106,28 +106,35 @@ class Simulator:
     def schedule(
         self,
         delay: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         priority: int = 0,
         label: str = "",
+        arg: object = None,
     ) -> Event:
-        """Schedule ``callback`` to run ``delay`` after the current time."""
+        """Schedule ``callback`` to run ``delay`` after the current time.
+
+        ``arg`` (when not ``None``) is passed as the callback's single
+        argument, so hot paths can schedule a bound method plus payload
+        without allocating a per-event closure.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay!r}")
-        return self._queue.push(self.now + delay, callback, priority=priority, label=label)
+        return self._queue.push(self.now + delay, callback, priority, label, arg)
 
     def schedule_at(
         self,
         time: float,
-        callback: Callable[[], None],
+        callback: Callable[..., None],
         priority: int = 0,
         label: str = "",
+        arg: object = None,
     ) -> Event:
         """Schedule ``callback`` to run at absolute virtual ``time``."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time!r}, which is before the current time {self.now!r}"
             )
-        return self._queue.push(time, callback, priority=priority, label=label)
+        return self._queue.push(time, callback, priority, label, arg)
 
     def timer(self, duration: float, callback: Callable[[], None], name: str = "") -> Timer:
         """Create a (not yet started) :class:`Timer`."""
@@ -165,7 +172,7 @@ class Simulator:
             )
         self.now = event.time
         self._events_processed += 1
-        event.callback()
+        event.fire()
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -175,27 +182,38 @@ class Simulator:
             until: Stop once the clock would pass this virtual time.  The
                 clock is advanced to ``until`` even if the queue drains early,
                 so callers can reason about a fixed experiment duration.
-            max_events: Safety valve for tests; raise if exceeded.
+            max_events: Safety valve for tests; trips as soon as an eligible
+                event would exceed exactly this many executions, so no extra
+                event ever runs past the limit.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         self._stopped = False
         processed = 0
+        queue = self._queue
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    break
-                if not self.step():
-                    break
-                processed += 1
-                if max_events is not None and processed > max_events:
+                if max_events is not None and processed >= max_events:
+                    next_time = queue.peek_time()
+                    if next_time is None or (until is not None and next_time > until):
+                        break
                     raise SimulationError(
                         f"exceeded max_events={max_events}; the scenario may be livelocked"
                     )
+                event = queue.pop_due(until)
+                if event is None:
+                    break
+                # Index access over the Event list layout: this loop runs once
+                # per simulated event, so property calls are real overhead.
+                self.now = event[TIME]
+                self._events_processed += 1
+                arg = event[ARG]
+                if arg is None:
+                    event[CALLBACK]()
+                else:
+                    event[CALLBACK](arg)
+                processed += 1
             if until is not None and self.now < until and not self._stopped:
                 self.now = until
         finally:

@@ -1,0 +1,223 @@
+"""Regression tests for the hot-path overhaul and the metrics/fault fixes.
+
+The determinism goldens were recorded on the pre-refactor implementation
+(commit 806ae8f: dataclass events, per-message closures, uncached digests),
+so they pin the kernel/network overhaul to *bit-identical* simulation
+results: any future change that alters event ordering or delivery timing
+must consciously re-record them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.replica import MODE_ACTIVE, MODE_IDLE
+from repro.errors import SimulationError
+from repro.harness.builder import Scenario
+from repro.harness.metrics import MetricsCollector
+from repro.harness.runner import ScenarioRunner
+from repro.net.message import Envelope, Message
+from repro.sim.events import EventQueue, noop
+from repro.sim.simulator import Simulator
+
+
+# ---------------------------------------------------------------------- #
+# MetricsCollector.throughput_timeseries
+# ---------------------------------------------------------------------- #
+def _collector_with_completions(times):
+    collector = MetricsCollector()
+    for index, completed_at in enumerate(times):
+        collector.record_transaction(f"t{index}", "write", 0.01, completed_at, "c")
+    return collector
+
+
+class TestThroughputTimeseries:
+    def test_completion_on_bucket_boundary_lands_in_later_bucket(self):
+        collector = _collector_with_completions([0.5, 1.0, 1.5, 2.0])
+        series = collector.throughput_timeseries(bucket=1.0, until=3.0)
+        assert series == [(0.0, 1.0), (1.0, 2.0), (2.0, 1.0)]
+
+    def test_no_completion_is_dropped_or_double_counted(self):
+        times = [i * 0.25 for i in range(20)]  # includes every bucket boundary
+        collector = _collector_with_completions(times)
+        series = collector.throughput_timeseries(bucket=1.0, until=5.0)
+        assert sum(count for _, count in series) == len(times)
+
+    def test_empty_collector_with_horizon_emits_zero_buckets(self):
+        series = MetricsCollector().throughput_timeseries(bucket=1.0, until=2.0)
+        assert series == [(0.0, 0.0), (1.0, 0.0)]
+
+
+# ---------------------------------------------------------------------- #
+# MetricsCollector.latency_percentile (nearest-rank)
+# ---------------------------------------------------------------------- #
+def _collector_with_latencies(latencies):
+    collector = MetricsCollector()
+    for index, latency in enumerate(latencies):
+        collector.record_transaction(f"t{index}", "write", latency, 1.0, "c")
+    return collector
+
+
+class TestLatencyPercentile:
+    def test_median_of_two_samples_is_the_smaller(self):
+        assert _collector_with_latencies([1.0, 2.0]).latency_percentile(0.5) == 1.0
+
+    def test_nearest_rank_goldens(self):
+        collector = _collector_with_latencies([float(i) for i in range(1, 101)])
+        assert collector.latency_percentile(0.50) == 50.0
+        assert collector.latency_percentile(0.99) == 99.0
+        assert collector.latency_percentile(1.00) == 100.0
+        assert collector.latency_percentile(0.01) == 1.0
+        assert collector.latency_percentile(0.0) == 1.0  # clamped to first rank
+
+    def test_empty_window_returns_zero(self):
+        assert MetricsCollector().latency_percentile(0.99) == 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Simulator.run(max_events=N) exactness
+# ---------------------------------------------------------------------- #
+class TestMaxEventsValve:
+    def test_trips_after_exactly_n_events(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.schedule(0.1, rearm)
+
+        sim.schedule(0.1, rearm)
+        with pytest.raises(SimulationError):
+            sim.run(until=1000.0, max_events=50)
+        assert sim.events_processed == 50
+
+    def test_exact_budget_drains_cleanly(self):
+        sim = Simulator()
+        for index in range(5):
+            sim.schedule(0.1 * (index + 1), noop)
+        sim.run(max_events=5)
+        assert sim.events_processed == 5
+
+
+# ---------------------------------------------------------------------- #
+# FaultInjector.partition_clusters after a join
+# ---------------------------------------------------------------------- #
+class TestPartitionAfterJoin:
+    def test_replicas_joining_before_or_during_the_partition_are_partitioned(self):
+        spec = (
+            Scenario("join-then-partition")
+            .clusters(4, 4)
+            .engine("hotstuff")
+            .threads(2)
+            .join(cluster=0, at=0.5, replica_id="newbie")
+            .join(cluster=0, at=4.3, replica_id="late")  # mid-partition window
+            .partition(0, 1, at=4.0, duration=2.0)
+            .duration(5.0)
+            .seeds(3)
+            .spec()
+        )
+        deployment = spec.build()
+        deployment.run(duration=spec.duration)
+        assert deployment.replica("newbie").mode == MODE_ACTIVE
+        assert deployment.replica("late").mode != MODE_IDLE  # requested at 4.3
+        network = deployment.network
+
+        def crossing(sender, destination):
+            return network._should_drop(
+                Envelope(sender=sender, destination=destination, payload=Message())
+            )
+
+        assert crossing("newbie", "c1/r0"), "joined replica must be inside the partition"
+        assert crossing("late", "c1/r0"), "mid-window joiner must be partitioned too"
+        assert crossing("c1/r0", "newbie"), "partitions drop traffic both ways"
+        assert not crossing("newbie", "c0/r0"), "intra-cluster traffic must survive"
+
+
+# ---------------------------------------------------------------------- #
+# Event kernel: cancelled-event compaction and arg-carrying events
+# ---------------------------------------------------------------------- #
+class TestEventKernel:
+    def test_timer_churn_does_not_grow_the_heap(self):
+        queue = EventQueue()
+        for index in range(5000):
+            event = queue.push(1000.0 + index, noop)
+            event.cancel()
+            queue.notify_cancel()
+        assert len(queue) == 0
+        # Auto-compaction keeps dead entries bounded instead of retaining
+        # all 5000 until their deadlines.
+        assert len(queue._heap) < 600
+
+    def test_pop_due_respects_the_limit(self):
+        queue = EventQueue()
+        queue.push(1.0, noop)
+        queue.push(3.0, noop)
+        assert queue.pop_due(2.0).time == 1.0
+        assert queue.pop_due(2.0) is None
+        assert len(queue) == 1  # the 3.0 event was left queued
+
+    def test_scheduled_arg_is_passed_to_the_callback(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, arg="payload")
+        sim.schedule(2.0, lambda: seen.append("no-arg"))
+        sim.run()
+        assert seen == ["payload", "no-arg"]
+
+    def test_insertion_order_is_stable_with_args(self):
+        sim = Simulator()
+        seen = []
+        for name in "abcde":
+            sim.schedule(1.0, seen.append, arg=name)
+        sim.run()
+        assert seen == list("abcde")
+
+
+# ---------------------------------------------------------------------- #
+# Determinism: the refactored hot path reproduces the pre-refactor run
+# ---------------------------------------------------------------------- #
+GOLDEN_E0_SUMMARY = {
+    "throughput_total": 1504.5714285714287,
+    "throughput_writes": 223.42857142857142,
+    "throughput_reads": 1281.142857142857,
+    "latency_mean": 0.00530180518823024,
+    "latency_mean_read": 0.001620490167243078,
+    "latency_mean_write": 0.026410522009338144,
+    "latency_p99": 0.03845778811024664,
+    "operations": 2633.0,
+    "rounds": 166.0,
+    "reconfigs_applied": 0.0,
+}
+GOLDEN_E0_NETWORK = {
+    "messages_sent": 21534,
+    "messages_delivered": 21516,
+    "messages_dropped": 0,
+    "bytes_sent": 17372992,
+}
+GOLDEN_E0_EVENTS = 43886
+
+
+def _e0_spec():
+    return (
+        Scenario("determinism-e0")
+        .clusters(4, 4)
+        .engine("hotstuff")
+        .threads(4)
+        .duration(2.0, warmup=0.25)
+        .seeds(7)
+        .spec()
+    )
+
+
+class TestHotPathDeterminism:
+    def test_fixed_seed_e0_matches_pre_refactor_goldens(self):
+        spec = _e0_spec()
+        deployment = spec.build()
+        metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+        assert metrics.summary() == GOLDEN_E0_SUMMARY
+        assert deployment.network.stats.snapshot() == GOLDEN_E0_NETWORK
+        assert deployment.simulator.events_processed == GOLDEN_E0_EVENTS
+
+    def test_serial_and_parallel_rows_stay_byte_identical(self):
+        specs = [_e0_spec().with_seed(seed) for seed in (1, 2)]
+        serial = ScenarioRunner(workers=1).run(specs)
+        parallel = ScenarioRunner(workers=2).run(specs)
+        assert [row.to_json() for row in serial] == [row.to_json() for row in parallel]
