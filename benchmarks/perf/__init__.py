@@ -1,12 +1,16 @@
 """Performance benchmark suite: the repo's perf trajectory lives here.
 
-Three layers, mirroring how the hot path composes:
+Five layers, mirroring how the hot path composes:
 
 * :mod:`benchmarks.perf.kernel_bench` — the event kernel alone
   (schedule/fire throughput and timer-churn behaviour of
   :class:`repro.sim.events.EventQueue`),
 * :mod:`benchmarks.perf.network_bench` — signed multicast through the
   simulated network (digest, signing, latency + CPU-queue events),
+* :mod:`benchmarks.perf.replica_bench` — replica-side protocol accounting
+  (bundle digest/size walks, certificate validation, view churn),
+* :mod:`benchmarks.perf.workload_bench` — client-side operation generation
+  (Zipfian key choice, YCSB op synthesis),
 * :mod:`benchmarks.perf.macro_bench` — an E0-style end-to-end scenario
   (full consensus stack), the number that ultimately matters.
 

@@ -7,8 +7,11 @@ speedup ratios, so the perf trajectory is a single self-describing artifact.
 
 Flags:
     --quick        ~10x smaller workloads (CI smoke).
-    --only NAMES   comma-separated subset: kernel,network,macro.
+    --only NAMES   comma-separated subset: kernel,network,replica,workload,macro.
     --output PATH  where to write the JSON (default: <repo>/BENCH_perf.json).
+    --compare OLD  after running, print per-bench speedups vs a prior
+                   BENCH_perf.json (the perf trajectory in one command).
+    --against NEW  with --compare: skip running and diff two result files.
     --record-baseline
                    also rewrite ``baseline.py`` with these results (use only
                    when intentionally re-anchoring the baseline).
@@ -26,11 +29,20 @@ from benchmarks.perf import REPO_ROOT, ensure_importable
 
 ensure_importable()
 
-from benchmarks.perf import baseline, kernel_bench, macro_bench, network_bench  # noqa: E402
+from benchmarks.perf import (  # noqa: E402
+    baseline,
+    kernel_bench,
+    macro_bench,
+    network_bench,
+    replica_bench,
+    workload_bench,
+)
 
 _SUITES = {
     "kernel": kernel_bench.run,
     "network": network_bench.run,
+    "replica": replica_bench.run,
+    "workload": workload_bench.run,
     "macro": macro_bench.run,
 }
 
@@ -38,10 +50,31 @@ _SUITES = {
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="benchmarks.perf", description=__doc__)
     parser.add_argument("--quick", action="store_true", help="smaller workloads (CI smoke)")
-    parser.add_argument("--only", default="", help="comma-separated subset of: kernel,network,macro")
+    parser.add_argument(
+        "--only", default="", help=f"comma-separated subset of: {','.join(_SUITES)}"
+    )
     parser.add_argument("--output", default=os.path.join(REPO_ROOT, "BENCH_perf.json"))
     parser.add_argument("--record-baseline", action="store_true")
+    parser.add_argument(
+        "--compare",
+        default="",
+        metavar="OLD_JSON",
+        help="after running, print per-bench speedups vs a prior BENCH_perf.json",
+    )
+    parser.add_argument(
+        "--against",
+        default="",
+        metavar="NEW_JSON",
+        help="with --compare: skip running and diff this results file against OLD_JSON",
+    )
     args = parser.parse_args(argv)
+
+    if args.against and not args.compare:
+        parser.error("--against requires --compare")
+    if args.against:
+        with open(args.against, "r", encoding="utf-8") as handle:
+            new_report = json.load(handle)
+        return _print_comparison(args.compare, new_report)
 
     chosen = [name.strip() for name in args.only.split(",") if name.strip()] or list(_SUITES)
     unknown = sorted(set(chosen) - set(_SUITES))
@@ -84,7 +117,58 @@ def main(argv=None) -> int:
     if args.record_baseline:
         _rewrite_baseline(results)
         print("[perf] baseline.py re-anchored to these results")
+    if args.compare:
+        return _print_comparison(args.compare, report)
     return 0
+
+
+def _print_comparison(old_path: str, new_report: dict) -> int:
+    """Print per-bench headline speedups of ``new_report`` vs an old report.
+
+    This is the one-command perf trajectory across PRs::
+
+        python -m benchmarks.perf --compare old/BENCH_perf.json
+
+    Returns non-zero when any bench regressed below half its old headline
+    rate (a crash-grade slowdown, not timing noise), so CI can surface it in
+    a non-gating step.
+    """
+    with open(old_path, "r", encoding="utf-8") as handle:
+        old_report = json.load(handle)
+    old_results = old_report.get("results", {})
+    new_results = new_report.get("results", {})
+    if old_report.get("quick") != new_report.get("quick"):
+        print(
+            "[perf][compare] WARNING: quick-mode mismatch "
+            f"(old quick={old_report.get('quick')}, new quick={new_report.get('quick')}); "
+            "headline metrics are rates, so ratios remain indicative only"
+        )
+    regression = False
+    print(f"[perf] comparison vs {old_path}:")
+    for name in sorted(set(old_results) | set(new_results)):
+        if name not in old_results or name not in new_results:
+            status = "only in new" if name in new_results else "only in old"
+            print(f"[perf]   {name}: ({status})")
+            continue
+        # The reports are self-describing; fall back to this checkout's
+        # registry only for reports written before headline_metrics existed.
+        metric = (
+            new_report.get("headline_metrics", {}).get(name)
+            or old_report.get("headline_metrics", {}).get(name)
+            or baseline.HEADLINE_METRICS.get(name)
+        )
+        old_value = old_results[name].get(metric) if metric else None
+        new_value = new_results[name].get(metric) if metric else None
+        if not old_value or not new_value:
+            print(f"[perf]   {name}: (no shared headline metric)")
+            continue
+        ratio = new_value / old_value
+        flag = ""
+        if ratio < 0.5:
+            flag = "  <-- REGRESSION"
+            regression = True
+        print(f"[perf]   {name}: {old_value:,.0f} -> {new_value:,.0f} {metric}  ({ratio:.2f}x){flag}")
+    return 1 if regression else 0
 
 
 def _rewrite_baseline(results) -> None:

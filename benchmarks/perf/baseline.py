@@ -6,6 +6,11 @@ compared field-by-field in the heap, per-message closures, uncached
 
     PYTHONPATH=src python -m benchmarks.perf --record-baseline
 
+The ``replica_*`` and ``workload_*`` entries were introduced together with
+their suites one PR later (commit 789fe45 state: post kernel/network
+overhaul, pre protocol/workload optimisation), so their baselines capture
+the code as it stood immediately before the optimisations they measure.
+
 Numbers are machine-dependent; the *speedups* reported next to them are
 not (same machine, same process, same workload sizes).  Re-record only if
 the workload definitions in this package change, and say so in the PR.
@@ -38,6 +43,26 @@ BASELINE: Dict[str, Dict[str, float]] = {
         "messages": 21600.0,
         "messages_per_sec": 88369.27102936718,
         "wall_s": 0.24442885799999203
+    },
+    "replica_bundle_accounting": {
+        "messages": 2000.0,
+        "messages_per_sec": 2038.8059224247481,
+        "wall_s": 0.9809663479991286
+    },
+    "replica_view_churn": {
+        "lookups": 20000.0,
+        "lookups_per_sec": 642485.4627187353,
+        "wall_s": 0.03112910900017596
+    },
+    "workload_ycsb": {
+        "ops": 200000.0,
+        "ops_per_sec": 1464953.496329031,
+        "wall_s": 0.13652310500037856
+    },
+    "workload_zipf": {
+        "draws": 1000000.0,
+        "draws_per_sec": 2181791.6401317474,
+        "wall_s": 0.45833890899848484
     }
 }
 
@@ -47,6 +72,10 @@ HEADLINE_METRICS: Dict[str, str] = {
     "kernel_timer_churn": "resets_per_sec",
     "network_multicast": "messages_per_sec",
     "macro_e0": "events_per_sec",
+    "replica_bundle_accounting": "messages_per_sec",
+    "replica_view_churn": "lookups_per_sec",
+    "workload_zipf": "draws_per_sec",
+    "workload_ycsb": "ops_per_sec",
 }
 
 

@@ -1,0 +1,63 @@
+"""Microbenchmarks for the client-side workload generators.
+
+The YCSB key chooser shows up in macro profiles: every client operation
+draws a Zipfian key, so at high thread counts the generator is on the
+closed-loop critical path.  Two workloads:
+
+* ``zipf_draws`` — raw :meth:`ZipfianGenerator.next` throughput over a
+  large key space.
+* ``ycsb_ops`` — full :meth:`YcsbWorkload.next_operation` throughput
+  (key draw + read/write choice + value formatting), the exact per-op cost
+  a :class:`~repro.workload.clients.WorkloadClient` thread pays.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.sim.rng import SeededRng
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+from repro.workload.zipf import ZipfianGenerator
+
+
+def bench_zipf_draws(
+    draws: int = 1_000_000, items: int = 100_000, theta: float = 0.99, repeats: int = 3
+) -> Dict[str, float]:
+    """Draw ``draws`` keys from a ``items``-key Zipfian distribution."""
+    best = float("inf")
+    for _ in range(repeats):
+        generator = ZipfianGenerator(items, theta, SeededRng(33, "zipf-bench"))
+        next_draw = generator.next
+        started = time.perf_counter()
+        for _ in range(draws):
+            next_draw()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return {"draws": float(draws), "wall_s": best, "draws_per_sec": draws / best}
+
+
+def bench_ycsb_ops(draws: int = 200_000, repeats: int = 3) -> Dict[str, float]:
+    """Generate ``draws`` full YCSB operations (op choice + key + value)."""
+    best = float("inf")
+    for _ in range(repeats):
+        workload = YcsbWorkload(YcsbConfig(), SeededRng(34, "ycsb-bench"))
+        next_operation = workload.next_operation
+        started = time.perf_counter()
+        for _ in range(draws):
+            next_operation()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    return {"ops": float(draws), "wall_s": best, "ops_per_sec": draws / best}
+
+
+def run(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run both workload benches; ``quick`` shrinks them for CI smoke runs."""
+    scale = 10 if quick else 1
+    return {
+        "workload_zipf": bench_zipf_draws(draws=1_000_000 // scale),
+        "workload_ycsb": bench_ycsb_ops(draws=200_000 // scale),
+    }
+
+
+__all__ = ["bench_zipf_draws", "bench_ycsb_ops", "run"]

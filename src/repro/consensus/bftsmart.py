@@ -183,7 +183,7 @@ class BftSmartEngine(TotalOrderBroadcast):
         if self._accepted.get(key):
             return
         self._accepted[key] = True
-        digest = commit_digest(self.cluster_id, write.sequence, instance.value)
+        digest = self.instance_commit_digest(instance)
         instance.prepared_value = instance.value
         self.abeb.broadcast(
             BsAccept(
@@ -203,7 +203,7 @@ class BftSmartEngine(TotalOrderBroadcast):
             return
         if accept.value_digest != instance.value_digest:
             return
-        digest = commit_digest(self.cluster_id, accept.sequence, instance.value)
+        digest = self.instance_commit_digest(instance)
         key = (accept.sequence, accept.view)
         cert = self._accepts.setdefault(key, Certificate(digest, kind="commit"))
         senders = self._accept_senders.setdefault(key, set())

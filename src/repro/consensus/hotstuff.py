@@ -24,6 +24,9 @@ from repro.net.message import Envelope, Message, payload_digest
 #: Ordered phases of one HotStuff instance.
 PHASES = ("prepare", "precommit", "commit")
 
+#: Phase preceding each quorum-carrying phase (avoids a list search per message).
+_PREVIOUS_PHASE = {"precommit": "prepare", "commit": "precommit"}
+
 
 @dataclass
 class HsProposal(Message):
@@ -188,7 +191,7 @@ class HotStuffEngine(TotalOrderBroadcast):
         commit_signature = None
         if phase == "commit":
             instance = self.instance(sequence)
-            digest = commit_digest(self.cluster_id, sequence, instance.value)
+            digest = self.instance_commit_digest(instance)
             commit_signature = self.registry.sign(self.owner, digest)
         vote = HsVote(
             cluster_id=self.cluster_id,
@@ -213,7 +216,7 @@ class HotStuffEngine(TotalOrderBroadcast):
                 self.cluster_id,
                 message.sequence,
                 message.view,
-                PHASES[PHASES.index(message.phase) - 1],
+                _PREVIOUS_PHASE[message.phase],
                 message.value_digest,
             )
             if not self.registry.certificate_valid(
@@ -225,7 +228,7 @@ class HotStuffEngine(TotalOrderBroadcast):
                 instance.prepared_certificate = message.certificate
             self._send_vote(message.sequence, message.phase, message.value_digest)
         elif message.phase == "decide":
-            digest = commit_digest(self.cluster_id, message.sequence, instance.value)
+            digest = self.instance_commit_digest(instance)
             if not self.registry.certificate_valid(
                 message.certificate, self.members(), self.quorum(), digest=digest
             ):
@@ -248,7 +251,7 @@ class HotStuffEngine(TotalOrderBroadcast):
         cert = self._vote_certs.setdefault(key, Certificate(phase_digest, kind=vote.phase))
         cert.add(self.registry.sign(sender, phase_digest))
         if vote.phase == "commit" and vote.commit_signature is not None:
-            cdigest = commit_digest(self.cluster_id, vote.sequence, instance.value)
+            cdigest = self.instance_commit_digest(instance)
             commit_cert = self._commit_certs.setdefault(key, Certificate(cdigest, kind="commit"))
             if self.registry.verify(vote.commit_signature) and vote.commit_signature.digest == cdigest:
                 commit_cert.add(vote.commit_signature)

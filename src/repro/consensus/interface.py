@@ -71,6 +71,11 @@ class _Instance:
     decided: bool = False
     votes: dict = field(default_factory=dict)
     timer: Any = None
+    #: Cache of ``commit_digest(cluster, sequence, value)`` together with the
+    #: value identity it was computed for (the digest walks the whole batch,
+    #: and the engines recompute it once per vote/phase otherwise).
+    commit_digest_value: Any = None
+    commit_digest_cache: Optional[str] = None
 
 
 class TotalOrderBroadcast(ABC):
@@ -129,8 +134,13 @@ class TotalOrderBroadcast(ABC):
         return self.network.registry
 
     def members(self) -> List[str]:
-        """Sorted current cluster membership."""
-        return sorted(self.members_fn())
+        """Current cluster membership (sorted by the ``members_fn`` contract).
+
+        No defensive re-sort: the replica supplies a cached sorted view, the
+        engines only use this for quorum checks (order-insensitive) and the
+        initial leader pick, and re-sorting per message is measurable.
+        """
+        return self.members_fn()
 
     def faults(self) -> int:
         """Current failure threshold ``f`` of the local cluster."""
@@ -149,9 +159,10 @@ class TotalOrderBroadcast(ABC):
     # ------------------------------------------------------------------ #
     def instance(self, sequence: int) -> _Instance:
         """Get or create the book-keeping record for a sequence number."""
-        if sequence not in self._instances:
-            self._instances[sequence] = _Instance(sequence=sequence)
-        return self._instances[sequence]
+        instance = self._instances.get(sequence)
+        if instance is None:
+            instance = self._instances[sequence] = _Instance(sequence=sequence)
+        return instance
 
     def start_instance(self, sequence: int) -> None:
         """Arm the local timer watching the leader for this instance."""
@@ -196,6 +207,21 @@ class TotalOrderBroadcast(ABC):
     def has_decided(self, sequence: int) -> bool:
         """Whether this replica already delivered the given sequence."""
         return sequence in self.decisions
+
+    def instance_commit_digest(self, instance: _Instance) -> str:
+        """``commit_digest`` over an instance's value, cached per value.
+
+        The digest walks the whole batch; engines need it once per commit
+        vote, decide broadcast, and certificate check, so it is computed once
+        per (instance, value identity) instead.
+        """
+        value = instance.value
+        digest = instance.commit_digest_cache
+        if digest is None or instance.commit_digest_value is not value:
+            digest = commit_digest(self.cluster_id, instance.sequence, value)
+            instance.commit_digest_value = value
+            instance.commit_digest_cache = digest
+        return digest
 
     # ------------------------------------------------------------------ #
     # Leader handling

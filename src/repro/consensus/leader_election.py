@@ -66,7 +66,13 @@ class LeaderElection:
     # Introspection
     # ------------------------------------------------------------------ #
     def members(self) -> List[str]:
-        """Sorted current membership, the round-robin order for leaders."""
+        """Sorted current membership, the round-robin order for leaders.
+
+        The defensive sort is kept here deliberately (unlike the engines'
+        and BRD's ``members()``, which only do order-insensitive quorum and
+        membership checks): this list's *order* decides leader rotation, so
+        an unsorted ``members_fn`` stub must not change who gets elected.
+        """
         return sorted(self.members_fn())
 
     def current_leader(self) -> str:

@@ -35,6 +35,8 @@ from repro.sim.simulator import Simulator
 
 def canonical_recs(recs) -> Tuple[ReconfigRequest, ...]:
     """Canonical (sorted, de-duplicated) form of a reconfiguration set."""
+    if isinstance(recs, tuple) and not recs:
+        return ()  # the overwhelmingly common case: no reconfigs this round
     return tuple(sorted(set(recs)))
 
 
@@ -164,8 +166,12 @@ class ByzantineReliableDissemination:
     # Membership helpers
     # ------------------------------------------------------------------ #
     def members(self) -> List[str]:
-        """Sorted current cluster membership."""
-        return sorted(self.members_fn())
+        """Current cluster membership (sorted by the ``members_fn`` contract).
+
+        No defensive re-sort: BRD only uses this for membership and quorum
+        checks (order-insensitive), and it runs once per echo/ready message.
+        """
+        return self.members_fn()
 
     def quorum(self) -> int:
         """Quorum size ``2f + 1``."""

@@ -147,6 +147,15 @@ class HamavaReplica(Process):
         self.round_number = 1
         self.kv = KeyValueStore()
 
+        # Per-view-epoch caches of the sorted membership lists and the sorted
+        # cluster order.  ``members()``/``local_members()`` are called for
+        # every message sent or validated, so re-sorting the view per call is
+        # pure overhead; the caches are invalidated whenever the view changes
+        # (reconfiguration execution, state-transfer adoption).  Callers
+        # treat the returned lists as read-only (they slice or copy).
+        self._members_cache: Dict[int, List[str]] = {}
+        self._view_order_cache: Optional[List[int]] = None
+
         network.register(self, system_config.region_of_cluster(cluster_id))
 
         self.apl = AuthenticatedPerfectLink(replica_id, network)
@@ -234,16 +243,54 @@ class HamavaReplica(Process):
         self.reconfigs_applied: List[Tuple[int, ReconfigRequest]] = []
         self.execution_log: List[str] = []
 
+        # Message dispatch table: exact payload type -> (active_only,
+        # wants_envelope, bound handler).  One dict probe replaces the
+        # isinstance ladder on the per-delivery hot path; subclassed payload
+        # types fall back to the ladder.
+        self._handler_table: Dict[type, Tuple[bool, bool, Any]] = {
+            ClientRequest: (False, False, self._on_client_request),
+            ReconfigAck: (False, False, self._on_ack),
+            CurrState: (False, False, self._on_curr_state),
+            Inter: (True, False, self._on_inter),
+            LocalShare: (True, False, self._on_local_share),
+            ElectionComplaint: (True, True, self.le.on_message),
+        }
+        for message_type in (LComplaint, RComplaint, ClusterComplaint):
+            self._handler_table[message_type] = (True, True, self.rlc.on_message)
+        for message_type in self.tob.MESSAGE_TYPES:
+            self._handler_table[message_type] = (True, True, self.tob.on_message)
+        for message_type in ByzantineReliableDissemination.MESSAGE_TYPES:
+            self._handler_table[message_type] = (True, True, self._dispatch_brd)
+
     # ------------------------------------------------------------------ #
     # Membership helpers
     # ------------------------------------------------------------------ #
     def local_members(self) -> List[str]:
         """Sorted members of the local cluster under the current view."""
-        return sorted(self.view[self.cluster_id])
+        cache = self._members_cache
+        members = cache.get(self.cluster_id)
+        if members is None:
+            members = cache[self.cluster_id] = sorted(self.view[self.cluster_id])
+        return members
 
     def members(self, cluster_id: int) -> List[str]:
         """Sorted members of any cluster under the current view."""
-        return sorted(self.view[cluster_id])
+        cache = self._members_cache
+        members = cache.get(cluster_id)
+        if members is None:
+            members = cache[cluster_id] = sorted(self.view[cluster_id])
+        return members
+
+    def _sorted_view_ids(self) -> List[int]:
+        """Sorted cluster ids of the current view (cached per view epoch)."""
+        order = self._view_order_cache
+        if order is None:
+            order = self._view_order_cache = sorted(self.view)
+        return order
+
+    def _invalidate_view_caches(self) -> None:
+        self._members_cache.clear()
+        self._view_order_cache = None
 
     def faults(self, cluster_id: int) -> int:
         """Failure threshold ``f_j`` of a cluster under the current view."""
@@ -425,7 +472,7 @@ class HamavaReplica(Process):
         if bundle.round_number == state.round_number:
             state.inter_sent = True
         message = Inter(round_number=bundle.round_number, cluster_id=self.cluster_id, bundle=bundle)
-        for cluster_id in sorted(self.view):
+        for cluster_id in self._sorted_view_ids():
             if cluster_id == self.cluster_id:
                 continue
             members = self.members(cluster_id)
@@ -438,13 +485,34 @@ class HamavaReplica(Process):
             return False
         members = self.members(cluster_id)
         threshold = 2 * self.faults(cluster_id) + 1
-        expected = commit_digest(cluster_id, round_number, bundle.transactions)
+        # The expected digests are cached on the bundle itself: the same
+        # bundle object is validated once per Inter target and once per
+        # LocalShare receiver, and each computation re-walks the batch.  The
+        # cache only applies when the claimed coordinates match the bundle's
+        # own (a Byzantine sender may relabel a bundle; that path recomputes).
+        own_coordinates = (
+            cluster_id == bundle.cluster_id and round_number == bundle.round_number
+        )
+        bundle_cache = bundle.__dict__
+        if own_coordinates:
+            expected = bundle_cache.get("_commit_digest")
+            if expected is None:
+                expected = commit_digest(cluster_id, round_number, bundle.transactions)
+                bundle_cache["_commit_digest"] = expected
+        else:
+            expected = commit_digest(cluster_id, round_number, bundle.transactions)
         if not self.network.registry.certificate_valid(
             bundle.txn_certificate, members, threshold, digest=expected
         ):
             return False
         if self.config.parallel_reconfig:
-            expected_recs = ready_digest(cluster_id, round_number, bundle.reconfigs)
+            if own_coordinates:
+                expected_recs = bundle_cache.get("_ready_digest")
+                if expected_recs is None:
+                    expected_recs = ready_digest(cluster_id, round_number, bundle.reconfigs)
+                    bundle_cache["_ready_digest"] = expected_recs
+            else:
+                expected_recs = ready_digest(cluster_id, round_number, bundle.reconfigs)
             if not self.network.registry.certificate_valid(
                 bundle.recs_ready_certificate, members, threshold, digest=expected_recs
             ):
@@ -499,7 +567,10 @@ class HamavaReplica(Process):
         operations = dict(self.operations)
         local_reconfigs: Tuple[ReconfigRequest, ...] = ()
         operation_count = 0
-        for cluster_id in sorted(operations):
+        # The predefined cluster order is the sorted view order; snapshot it
+        # before the loop because applying reconfigs below churns the view.
+        execution_order = [cid for cid in self._sorted_view_ids() if cid in operations]
+        for cluster_id in execution_order:
             bundle = operations[cluster_id]
             for transaction in bundle.transactions:
                 self._apply_transaction(transaction)
@@ -564,6 +635,8 @@ class HamavaReplica(Process):
             for t in bundle.transactions
             if t.op in ("join", "leave")
         ]
+        if not extracted:
+            return ()
         return tuple(sorted(set(extracted)))
 
     def _apply_reconfig(self, cluster_id: int, request: ReconfigRequest) -> None:
@@ -572,6 +645,7 @@ class HamavaReplica(Process):
             members.add(request.process_id)
         elif request.is_leave:
             members.discard(request.process_id)
+        self._invalidate_view_caches()
         self.reconfigs_applied.append((self.round_number, request))
         if self.metrics is not None and self.is_reporter:
             self.metrics.record_reconfig(
@@ -671,7 +745,8 @@ class HamavaReplica(Process):
 
     def _on_client_request(self, sender: str, message: ClientRequest) -> None:
         transaction = message.transaction
-        from_member = sender in self.view.get(self.cluster_id, set())
+        local_view = self.view.get(self.cluster_id)
+        from_member = local_view is not None and sender in local_view
         if from_member:
             # A peer forwarded a transaction to us because we are (were) the leader.
             self._enqueue(transaction)
@@ -744,6 +819,7 @@ class HamavaReplica(Process):
         snapshot = self._currstate_snapshots[key]
         self.kv.restore(snapshot.state_snapshot)
         self.view = {cid: set(members) for cid, members in snapshot.system_view.items()}
+        self._invalidate_view_caches()
         self.round_number = snapshot.round_number
         self.mode = MODE_ACTIVE
         self.joined_at = self.now
@@ -770,7 +846,30 @@ class HamavaReplica(Process):
         if self.mode == MODE_LEFT:
             return
         payload = envelope.payload
+        payload_type = type(payload)
 
+        entry = self._handler_table.get(payload_type)
+        if entry is not None:
+            active_only, wants_envelope, handler = entry
+            if active_only and self.mode != MODE_ACTIVE:
+                return
+            handler(sender, envelope if wants_envelope else payload)
+            return
+        if payload_type is RequestJoin or payload_type is RequestLeave:
+            if self.mode == MODE_ACTIVE:
+                if self.config.parallel_reconfig:
+                    self.collector.on_message(sender, envelope)
+                else:
+                    self._single_workflow_reconfig(sender, payload)
+            return
+        self._on_message_fallback(sender, envelope)
+
+    def _on_message_fallback(self, sender: str, envelope: Envelope) -> None:
+        """isinstance-based routing for subclassed payload types.
+
+        Mirrors the exact-type table, including its mode gating.
+        """
+        payload = envelope.payload
         if isinstance(payload, ClientRequest):
             self._on_client_request(sender, payload)
             return
@@ -787,26 +886,20 @@ class HamavaReplica(Process):
                 else:
                     self._single_workflow_reconfig(sender, payload)
             return
-        if self.mode not in (MODE_ACTIVE,):
+        if self.mode != MODE_ACTIVE:
             return
         if isinstance(payload, Inter):
             self._on_inter(sender, payload)
-            return
-        if isinstance(payload, LocalShare):
+        elif isinstance(payload, LocalShare):
             self._on_local_share(sender, payload)
-            return
-        if isinstance(payload, (LComplaint, RComplaint, ClusterComplaint)):
+        elif isinstance(payload, (LComplaint, RComplaint, ClusterComplaint)):
             self.rlc.on_message(sender, envelope)
-            return
-        if isinstance(payload, ElectionComplaint):
+        elif isinstance(payload, ElectionComplaint):
             self.le.on_message(sender, envelope)
-            return
-        if isinstance(payload, self.tob.MESSAGE_TYPES):
+        elif isinstance(payload, self.tob.MESSAGE_TYPES):
             self.tob.on_message(sender, envelope)
-            return
-        if isinstance(payload, ByzantineReliableDissemination.MESSAGE_TYPES):
+        elif isinstance(payload, ByzantineReliableDissemination.MESSAGE_TYPES):
             self._dispatch_brd(sender, envelope)
-            return
 
     def _dispatch_brd(self, sender: str, envelope: Envelope) -> None:
         round_number = envelope.payload.round_number

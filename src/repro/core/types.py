@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.net.crypto import Certificate
@@ -23,9 +24,14 @@ READ = "read"
 WRITE = "write"
 
 
-@dataclass(frozen=True)
+@dataclass(repr=False, unsafe_hash=True)
 class Transaction:
     """A client key-value operation.
+
+    Treated as immutable once created (but not ``frozen=True``: one is
+    allocated per client operation, and the frozen-dataclass ``__init__``
+    pays an ``object.__setattr__`` per field).  ``unsafe_hash`` keeps the
+    field-based hash the frozen version provided.
 
     Attributes:
         txn_id: Globally unique identifier (client id + sequence number).
@@ -52,6 +58,24 @@ class Transaction:
     def is_read(self) -> bool:
         """Whether this is a read-only operation."""
         return self.op == READ
+
+    def __repr__(self) -> str:
+        # A transaction's repr is the unit every digest walk is built from
+        # (client requests, batch digests, bundle digests), so it is
+        # computed once per transaction instead of once per enclosing
+        # message.  Same shape as the dataclass-generated repr; the field
+        # list is derived from the dataclass so it cannot silently drift.
+        cached = self.__dict__.get("_repr_cache")
+        if cached is None:
+            body = ", ".join(
+                f"{name}={getattr(self, name)!r}" for name in _TRANSACTION_FIELDS
+            )
+            cached = self.__dict__["_repr_cache"] = f"Transaction({body})"
+        return cached
+
+
+#: Transaction field names in declaration order, for the cached __repr__.
+_TRANSACTION_FIELDS = tuple(f.name for f in dataclass_fields(Transaction))
 
 
 def make_transaction(
@@ -114,6 +138,11 @@ def leave_request(process_id: str, cluster_id: int) -> ReconfigRequest:
 class OperationsBundle:
     """Everything a cluster decided in one round, plus the proofs.
 
+    A bundle is *sealed* once stage 1 constructs it: the digest/size/
+    validation caches (here and in ``HamavaReplica._bundle_valid``) rely on
+    the contents never mutating afterwards, so treat instances as
+    write-once even though the dataclass is not frozen.
+
     Attributes:
         cluster_id: The producing cluster.
         round_number: The round the bundle belongs to.
@@ -140,17 +169,50 @@ class OperationsBundle:
         return len(self.transactions) + len(self.reconfigs)
 
     def size_bytes(self) -> int:
-        """Approximate serialized size of the bundle."""
-        txn_bytes = sum(t.size_bytes for t in self.transactions)
-        cert_bytes = 0
-        for cert in (
-            self.txn_certificate,
-            self.recs_collection_certificate,
-            self.recs_ready_certificate,
-        ):
-            if cert is not None:
-                cert_bytes += 96 * len(cert)
-        return 256 + txn_bytes + 128 * len(self.reconfigs) + cert_bytes
+        """Approximate serialized size of the bundle.
+
+        Cached per instance: a bundle is sealed when stage 1 finishes and is
+        then wrapped by one ``Inter`` per remote target plus one
+        ``LocalShare`` per receiving replica, each of which used to re-walk
+        the transactions and certificates.
+        """
+        cache = self.__dict__
+        size = cache.get("_size_cache")
+        if size is None:
+            txn_bytes = sum(t.size_bytes for t in self.transactions)
+            cert_bytes = 0
+            for cert in (
+                self.txn_certificate,
+                self.recs_collection_certificate,
+                self.recs_ready_certificate,
+            ):
+                if cert is not None:
+                    cert_bytes += 96 * len(cert)
+            size = 256 + txn_bytes + 128 * len(self.reconfigs) + cert_bytes
+            cache["_size_cache"] = size
+        return size
+
+    def digest(self) -> str:
+        """Deterministic digest of the bundle contents, cached per instance.
+
+        Used by the digests of the ``Inter``/``LocalShare`` messages that
+        wrap this bundle, so the certificate/transaction walk happens once
+        per bundle rather than once per wrapping message instance.  The
+        field list is derived from the dataclass so a future field cannot
+        silently fall out of the digest.
+        """
+        cache = self.__dict__
+        digest = cache.get("_digest_cache")
+        if digest is None:
+            body = ", ".join(
+                f"{name}={getattr(self, name)!r}" for name in _BUNDLE_FIELDS
+            )
+            digest = cache["_digest_cache"] = f"OperationsBundle({body})"
+        return digest
+
+
+#: OperationsBundle field names in declaration order, for the cached digest.
+_BUNDLE_FIELDS = tuple(f.name for f in dataclass_fields(OperationsBundle))
 
 
 def merge_reconfigs(sets: Iterable[Iterable[ReconfigRequest]]) -> Tuple[ReconfigRequest, ...]:

@@ -24,29 +24,63 @@ from typing import Dict, Iterable, Optional, Set
 from repro.errors import CryptoError
 
 
-#: Token-memo bound in approximate bytes of retained digest strings; when
-#: hit, the cache resets rather than growing forever.  Byte-based because
-#: bundle digests are ``repr`` strings that can run to kilobytes each.
-_TOKEN_CACHE_MAX_BYTES = 64 << 20
+#: Token memo entry cap: keys are (signer, digest_hash) with small values,
+#: so a simple entry bound replaces the old byte-based accounting.
+_TOKEN_CACHE_MAX_ENTRIES = 1 << 20
 
 
-def _token(secret: str, digest: str) -> str:
-    """Keyed digest binding a signer's secret to a message digest."""
-    return hashlib.blake2b(
-        digest.encode("utf-8"), key=secret.encode("utf-8")[:64], digest_size=16
-    ).hexdigest()
+def _token(secret_key: bytes, digest_hash: int) -> int:
+    """Keyed token binding a signer's secret to a message digest.
+
+    A keyed blake2b over the *string hash* of the digest (not its bytes):
+    CPython caches a string's hash on the string object, and signature
+    objects carry a reference to the exact digest string they were created
+    from, so the expensive part of tokenising even a kilobytes-long bundle
+    digest is paid once per digest string, while the MAC itself runs over 8
+    bytes.  Keying with the signer's secret keeps the original
+    unforgeability contract: a token does not reveal anything a Byzantine
+    component could use to mint tokens for other digests (unlike a plain
+    ``hash ^ secret`` mix, which is invertible).
+    """
+    return int.from_bytes(
+        hashlib.blake2b(
+            digest_hash.to_bytes(8, "little", signed=True), key=secret_key, digest_size=8
+        ).digest(),
+        "little",
+    )
 
 
-@dataclass(frozen=True)
 class Signature:
-    """A signature by ``signer`` over ``digest``."""
+    """A signature by ``signer`` over ``digest``.
 
-    signer: str
-    digest: str
-    token: str
+    ``token`` is an integer for registry-produced signatures and a marker
+    string for forged ones (so a forgery can never compare equal).  A plain
+    slotted class rather than a frozen dataclass: one is allocated per
+    signed message, and the frozen-dataclass ``__init__`` (one
+    ``object.__setattr__`` per field) is several times slower.
+    """
+
+    __slots__ = ("signer", "digest", "token")
+
+    def __init__(self, signer: str, digest: str, token: object) -> None:
+        self.signer = signer
+        self.digest = digest
+        self.token = token
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return (
+            self.signer == other.signer
+            and self.digest == other.digest
+            and self.token == other.token
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.signer, self.digest, self.token))
 
     def __repr__(self) -> str:
-        return f"Sig({self.signer},{self.token[:8]})"
+        return f"Sig({self.signer},{self.token})"
 
 
 @dataclass
@@ -71,6 +105,12 @@ class Certificate:
                 f"signature digest {signature.digest!r} does not match certificate "
                 f"digest {self.digest!r}"
             )
+        existing = self.signatures.get(signature.signer)
+        if existing is not None and existing != signature:
+            # Replacing a signer's entry can turn a once-valid certificate
+            # invalid (e.g. a forged replacement), so the positive-validation
+            # memo must not survive the swap.
+            self.__dict__.pop("_valid_cache", None)
         self.signatures[signature.signer] = signature
 
     def signers(self) -> Set[str]:
@@ -102,12 +142,14 @@ class KeyRegistry:
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._secrets: Dict[str, str] = {}
-        # Memo of correct tokens by (signer, digest).  Secrets are write-once
-        # (register() never overwrites), so a cached token never goes stale.
-        # Signing fills it, so verifying an honestly-signed multicast at its
-        # n destinations costs one keyed hash total instead of n + 1.
-        self._token_cache: Dict[tuple, str] = {}
-        self._token_cache_bytes = 0
+        # Per-signer MAC key bytes, precomputed at registration.
+        self._secret_keys: Dict[str, bytes] = {}
+        # Memo of correct tokens, nested signer -> digest string hash ->
+        # token (nested so the per-call lookup allocates no key tuple).
+        # Secrets are write-once, so entries never go stale; signing fills
+        # it, so verifying an honestly-signed multicast at n destinations
+        # costs one MAC total instead of n + 1.
+        self._token_cache: Dict[str, Dict[int, int]] = {}
 
     # ------------------------------------------------------------------ #
     # Key management
@@ -115,9 +157,11 @@ class KeyRegistry:
     def register(self, process_id: str) -> None:
         """Create key material for a process (idempotent)."""
         if process_id not in self._secrets:
-            self._secrets[process_id] = hashlib.sha256(
+            secret = hashlib.sha256(
                 f"{self._seed}:{process_id}".encode("utf-8")
             ).hexdigest()
+            self._secrets[process_id] = secret
+            self._secret_keys[process_id] = secret.encode("utf-8")[:64]
 
     def knows(self, process_id: str) -> bool:
         """Whether the process has registered keys."""
@@ -128,32 +172,37 @@ class KeyRegistry:
     # ------------------------------------------------------------------ #
     def sign(self, signer: str, digest: str) -> Signature:
         """Sign ``digest`` on behalf of ``signer``."""
-        secret = self._secrets.get(signer)
-        if secret is None:
+        secret_key = self._secret_keys.get(signer)
+        if secret_key is None:
             raise CryptoError(f"unknown signer {signer!r}")
-        return Signature(
-            signer=signer, digest=digest, token=self._cached_token(signer, secret, digest)
-        )
+        # Token memo inlined (sign/verify are per-message hot paths).
+        by_signer = self._token_cache.get(signer)
+        if by_signer is None:
+            by_signer = self._token_cache[signer] = {}
+        digest_hash = hash(digest)
+        token = by_signer.get(digest_hash)
+        if token is None:
+            if len(by_signer) >= _TOKEN_CACHE_MAX_ENTRIES:
+                by_signer.clear()
+            token = by_signer[digest_hash] = _token(secret_key, digest_hash)
+        return Signature(signer=signer, digest=digest, token=token)
 
     def verify(self, signature: Signature) -> bool:
         """Check that a signature was produced with the signer's secret."""
-        secret = self._secrets.get(signature.signer)
-        if secret is None:
+        signer = signature.signer
+        secret_key = self._secret_keys.get(signer)
+        if secret_key is None:
             return False
-        return signature.token == self._cached_token(signature.signer, secret, signature.digest)
-
-    def _cached_token(self, signer: str, secret: str, digest: str) -> str:
-        """The correct token for ``(signer, digest)``, memoised."""
-        key = (signer, digest)
-        token = self._token_cache.get(key)
+        by_signer = self._token_cache.get(signer)
+        if by_signer is None:
+            by_signer = self._token_cache[signer] = {}
+        digest_hash = hash(signature.digest)
+        token = by_signer.get(digest_hash)
         if token is None:
-            if self._token_cache_bytes >= _TOKEN_CACHE_MAX_BYTES:
-                self._token_cache.clear()
-                self._token_cache_bytes = 0
-            token = _token(secret, digest)
-            self._token_cache[key] = token
-            self._token_cache_bytes += len(digest) + len(signer) + 96
-        return token
+            if len(by_signer) >= _TOKEN_CACHE_MAX_ENTRIES:
+                by_signer.clear()
+            token = by_signer[digest_hash] = _token(secret_key, digest_hash)
+        return signature.token == token
 
     def forge(self, signer: str, digest: str) -> Signature:
         """Produce an *invalid* signature claiming to be from ``signer``.
@@ -194,7 +243,20 @@ class KeyRegistry:
             return False
         if digest is not None and certificate.digest != digest:
             return False
-        member_set = set(members)
+        # Positive results are memoised on the certificate object itself: the
+        # same certificate instance is re-validated by every receiving
+        # replica (phase broadcasts, bundle shares), and signatures are only
+        # ever *added* (replacement invalidates the memo in Certificate.add),
+        # so a satisfied (registry, digest, threshold, membership) check can
+        # never become unsatisfied.  The registry is part of the key: a
+        # certificate may be checked against a second trust domain whose
+        # secrets never produced the signatures.  Negative results are
+        # recomputed.
+        key = (self, certificate.digest, threshold, tuple(members))
+        cache = certificate.__dict__.get("_valid_cache")
+        if cache is not None and key in cache:
+            return True
+        member_set = set(key[3])
         valid = 0
         for signature in certificate.signatures.values():
             if signature.signer not in member_set:
@@ -204,7 +266,12 @@ class KeyRegistry:
             if not self.verify(signature):
                 continue
             valid += 1
-        return valid >= threshold
+        if valid >= threshold:
+            if cache is None:
+                cache = certificate.__dict__["_valid_cache"] = set()
+            cache.add(key)
+            return True
+        return False
 
 
 __all__ = ["Certificate", "KeyRegistry", "Signature"]

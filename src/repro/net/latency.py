@@ -109,8 +109,22 @@ class LatencyModel:
     ) -> None:
         self.parameters = parameters or LatencyParameters()
         self._rng = rng.child("latency")
+        #: The underlying C-implemented uniform draw; the per-message jitter
+        #: is inlined below and this skips three wrapper frames per draw.
+        self._random = self._rng.raw_random
         self._rtt_table = dict(rtt_table) if rtt_table is not None else dict(REGION_RTT_MS)
         self._locations: Dict[str, Region] = {}
+        #: Memo of (base, jitter spread) per src -> dst process pair (nested
+        #: dicts, so the per-message lookup allocates no key tuple);
+        #: invalidated whenever a placement or the RTT table changes.
+        self._pair_base: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        # Model constants are immutable after construction; bind them once.
+        params = self.parameters
+        self._jitter_fraction = params.jitter_fraction
+        self._bandwidth = params.bandwidth_bytes_per_sec
+        self._per_message_overhead = params.per_message_overhead
+        self._self_base = params.intra_region_latency
+        self._self_spread = params.intra_region_latency * params.jitter_fraction
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -118,6 +132,7 @@ class LatencyModel:
     def place(self, process_id: str, region: Region) -> None:
         """Record the region a process runs in."""
         self._locations[process_id] = canonical_region(region)
+        self._pair_base.clear()
 
     def region_of(self, process_id: str) -> Region:
         """The region a process was placed in (default: us-west1)."""
@@ -129,6 +144,7 @@ class LatencyModel:
         b = canonical_region(b)
         self._rtt_table[(a, b)] = rtt_ms
         self._rtt_table[(b, a)] = rtt_ms
+        self._pair_base.clear()
 
     def rtt_ms(self, a: Region, b: Region) -> float:
         """RTT between two regions under the current table."""
@@ -138,17 +154,55 @@ class LatencyModel:
     # Latency computation
     # ------------------------------------------------------------------ #
     def one_way_latency(self, src: str, dst: str, size_bytes: int = 0) -> float:
-        """One-way delivery latency in seconds for a message of given size."""
-        params = self.parameters
-        src_region = self.region_of(src)
-        dst_region = self.region_of(dst)
-        if src_region == dst_region:
-            base = params.intra_region_latency
+        """One-way delivery latency in seconds for a message of given size.
+
+        Called once per (message, destination) pair, so the region resolution
+        and RTT lookup are memoised per process pair and the jitter draw is
+        inlined.  The arithmetic reproduces ``rng.jitter(base, f) + transfer``
+        bit-for-bit (``spread + spread`` is IEEE-exact, and the operand order
+        matches the wrapper it replaces), so simulations are unchanged.
+        """
+        by_src = self._pair_base.get(src)
+        if by_src is None:
+            by_src = self._pair_base[src] = {}
+        pair = by_src.get(dst)
+        if pair is None:
+            src_region = self.region_of(src)
+            dst_region = self.region_of(dst)
+            if src_region == dst_region:
+                base = self.parameters.intra_region_latency
+            else:
+                base = self.rtt_ms(src_region, dst_region) / 2.0 / 1000.0
+            pair = by_src[dst] = (base, base * self._jitter_fraction)
+        base, spread = pair
+        transfer = size_bytes / self._bandwidth if size_bytes else 0.0
+        if base == 0:
+            latency = transfer  # jitter(0, f) draws nothing and returns 0.0
         else:
-            base = self.rtt_ms(src_region, dst_region) / 2.0 / 1000.0
-        transfer = size_bytes / params.bandwidth_bytes_per_sec if size_bytes else 0.0
-        latency = self._rng.jitter(base, params.jitter_fraction) + transfer
-        return max(latency, params.per_message_overhead) + params.per_message_overhead
+            latency = base + ((spread + spread) * self._random() - spread) + transfer
+        per_message_overhead = self._per_message_overhead
+        if latency < per_message_overhead:
+            latency = per_message_overhead
+        return latency + per_message_overhead
+
+    def self_delivery_latency(self, size_bytes: int = 0) -> float:
+        """One-way latency for a self-addressed message (sender == receiver).
+
+        The hop is same-region by construction, so the pair resolution is
+        skipped entirely; draw and arithmetic are identical to
+        :meth:`one_way_latency` for an intra-region hop.
+        """
+        base = self._self_base
+        transfer = size_bytes / self._bandwidth if size_bytes else 0.0
+        if base == 0:
+            latency = transfer
+        else:
+            spread = self._self_spread
+            latency = base + ((spread + spread) * self._random() - spread) + transfer
+        per_message_overhead = self._per_message_overhead
+        if latency < per_message_overhead:
+            latency = per_message_overhead
+        return latency + per_message_overhead
 
     def pairs(self) -> Iterable[Tuple[Region, Region]]:
         """All region pairs known to the model."""

@@ -36,11 +36,23 @@ class AuthenticatedPerfectLink:
 
     def send(self, destination: str, payload: Message) -> None:
         """Sign and send ``payload`` to ``destination``."""
-        self.network.send(self.owner, destination, payload, self.sign(payload))
+        network = self.network
+        network.send(
+            self.owner,
+            destination,
+            payload,
+            network.registry.sign(self.owner, payload.digest()),
+        )
 
     def send_many(self, destinations: Sequence[str], payload: Message) -> None:
         """Sign once and send the payload to several destinations."""
-        self.network.multicast(self.owner, list(destinations), payload, self.sign(payload))
+        network = self.network
+        network.multicast(
+            self.owner,
+            destinations,
+            payload,
+            network.registry.sign(self.owner, payload.digest()),
+        )
 
 
 class AuthenticatedBestEffortBroadcast:

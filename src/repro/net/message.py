@@ -13,11 +13,22 @@ a time) never recomputes the full-field ``repr`` walk.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field, fields
-from typing import Any, Optional
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple
 
-_message_counter = itertools.count()
+#: Per-class tuple of dataclass field names, so :meth:`Message.digest` does
+#: not re-run the ``dataclasses.fields`` machinery for every new instance.
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
+
+#: Per-class compiled digest walkers (see :func:`_compile_digest_fn`).
+_DIGEST_FNS: Dict[type, Any] = {}
+
+#: Per-class memo of the unbound ``digest`` method (or ``False``): spares the
+#: hot path one ``getattr`` + ``callable`` probe per field value.  Keyed on
+#: the class because ``digest`` is a class-level method where it exists
+#: (dataclass *fields* named ``digest``, e.g. ``Certificate.digest``, live on
+#: instances and correctly resolve to ``False`` here).
+_DIGEST_METHODS: Dict[type, Any] = {}
 
 
 def payload_digest(value: Any) -> str:
@@ -25,9 +36,61 @@ def payload_digest(value: Any) -> str:
 
     The digest only needs to be collision-resistant *within a simulation*;
     ``repr`` over dataclasses with deterministic field ordering is enough and
-    is far cheaper than real hashing for the hot path.
+    is far cheaper than real hashing for the hot path.  Values that expose a
+    ``digest()`` method (nested messages, operation bundles) answer from
+    their own per-instance cache instead of being re-walked.
     """
+    cls = type(value)
+    method = _DIGEST_METHODS.get(cls)
+    if method is None:
+        candidate = getattr(cls, "digest", None)
+        method = candidate if callable(candidate) else False
+        _DIGEST_METHODS[cls] = method
+    if method is not False:
+        return method(value)
     return repr(value)
+
+
+def _compile_digest_fn(cls: type, names: Tuple[str, ...]):
+    """Build a specialized digest walker for one message class.
+
+    The same code-generation trick ``dataclasses`` uses for ``__init__``:
+    a straight-line function with direct attribute loads replaces the
+    name-lookup loop, since ``digest`` runs once for every signed message.
+    String fields (ids, keys, phase names, embedded digests — the
+    majority) are framed as ``s<len>|<content>``: the length marker keeps
+    field boundaries unambiguous even though the content may contain the
+    ``'|'`` separator (embedded digests always do), and the ``s`` prefix
+    separates them from non-string fields, whose ``repr`` never matches
+    ``s<digits>``.  Unlike ``repr``-quoting this never copies the content
+    (value digests run to kilobytes), so two distinct messages cannot
+    share a digest — and therefore a signature — by boundary aliasing.
+    Other values go through the ``payload_digest`` dispatch (inlined), so
+    nested digest-bearing values answer from their caches.
+    """
+    lines = [
+        "def compiled(self, _methods, _repr, _getattr, _callable):",
+        f"    parts = [{cls.__name__!r}]",
+        "    ap = parts.append",
+    ]
+    for name in names:
+        lines += [
+            f"    v = self.{name}",
+            "    if v.__class__ is str:",
+            "        ap('s%d' % len(v))",
+            "        ap(v)",
+            "    else:",
+            "        m = _methods.get(v.__class__)",
+            "        if m is None:",
+            "            cand = _getattr(v.__class__, 'digest', None)",
+            "            m = cand if _callable(cand) else False",
+            "            _methods[v.__class__] = m",
+            "        ap(m(v) if m is not False else _repr(v))",
+        ]
+    lines.append("    return '|'.join(parts)")
+    namespace: Dict[str, Any] = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 - trusted, class-derived source
+    return namespace["compiled"]
 
 
 @dataclass
@@ -74,11 +137,19 @@ class Message:
         cache = self.__dict__
         digest = cache.get("_digest_cache")
         if digest is None:
-            parts = [type(self).__name__]
-            for f in fields(self):
-                parts.append(f"{f.name}={payload_digest(getattr(self, f.name))}")
-            digest = "|".join(parts)
-            cache["_digest_cache"] = digest
+            cls = type(self)
+            fn = _DIGEST_FNS.get(cls)
+            if fn is None:
+                names = _FIELD_NAMES.get(cls)
+                if names is None:
+                    names = _FIELD_NAMES[cls] = tuple(f.name for f in fields(self))
+                # Field names are constant per class, so only the values go
+                # into the digest; the class name plus fixed field order
+                # keeps digests of different message types distinct.
+                fn = _DIGEST_FNS[cls] = _compile_digest_fn(cls, names)
+            digest = cache["_digest_cache"] = fn(
+                self, _DIGEST_METHODS, repr, getattr, callable
+            )
         return digest
 
 
@@ -96,7 +167,10 @@ class Envelope:
     signature: Optional[Any] = None
     sent_at: float = 0.0
     size_bytes: int = 0
-    envelope_id: int = field(default_factory=lambda: next(_message_counter))
+    #: Receiver-side CPU time, precomputed once per *message* at dispatch
+    #: (it depends only on the payload and the network config) instead of
+    #: once per delivery.
+    processing: float = 0.0
 
     def type_name(self) -> str:
         """Type name of the wrapped payload."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import random
-from typing import Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -38,6 +38,15 @@ class SeededRng:
     def child(self, namespace: str) -> "SeededRng":
         """Return an independent stream for a sub-component."""
         return SeededRng(self.seed, f"{self.namespace}/{namespace}")
+
+    @property
+    def raw_random(self) -> "Callable[[], float]":
+        """The underlying C-implemented uniform ``[0, 1)`` draw.
+
+        Hot paths bind this once and call it directly, skipping the wrapper
+        frame per draw; it consumes the same stream as :meth:`random`.
+        """
+        return self._random.random
 
     def uniform(self, low: float, high: float) -> float:
         """Draw a float uniformly from ``[low, high)``."""

@@ -10,10 +10,12 @@ time and is bit-for-bit reproducible.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
+from math import inf
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
-from repro.sim.events import ARG, CALLBACK, TIME, Event, EventQueue
+from repro.sim.events import ARG, CALLBACK, CANCELLED, TIME, Event, EventQueue
 from repro.sim.rng import SeededRng
 
 
@@ -36,6 +38,7 @@ class Timer:
         self.duration = duration
         self.callback = callback
         self.name = name
+        self._label = f"timer:{name}"  # built once, not per (re)arm
         self._event: Optional[Event] = None
 
     @property
@@ -48,9 +51,7 @@ class Timer:
         self.stop()
         if duration is not None:
             self.duration = duration
-        self._event = self._simulator.schedule(
-            self.duration, self._fire, label=f"timer:{self.name}"
-        )
+        self._event = self._simulator.schedule(self.duration, self._fire, 0, self._label)
 
     def reset(self, duration: Optional[float] = None) -> None:
         """Alias for :meth:`start`; mirrors the paper's ``reset timer``."""
@@ -119,7 +120,14 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay!r}")
-        return self._queue.push(self.now + delay, callback, priority, label, arg)
+        # Inline of EventQueue.push (one call frame per scheduled event).
+        queue = self._queue
+        sequence = queue._sequence
+        queue._sequence = sequence + 1
+        event = Event((self.now + delay, priority, sequence, callback, arg, False, label))
+        queue._live += 1
+        heappush(queue._heap, event)
+        return event
 
     def schedule_at(
         self,
@@ -134,7 +142,30 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time!r}, which is before the current time {self.now!r}"
             )
-        return self._queue.push(time, callback, priority, label, arg)
+        # Inline of EventQueue.push (one call frame per scheduled event).
+        queue = self._queue
+        sequence = queue._sequence
+        queue._sequence = sequence + 1
+        event = Event((time, priority, sequence, callback, arg, False, label))
+        queue._live += 1
+        heappush(queue._heap, event)
+        return event
+
+    def schedule_batch(
+        self,
+        pairs: object,
+        callback: Callable[..., None],
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Schedule ``callback`` once per ``(absolute_time, arg)`` pair.
+
+        One bulk insertion instead of one :meth:`schedule_at` call per entry;
+        the multicast fan-out path uses this to insert a whole batch of
+        near-sorted delivery events at once.  Pop order is identical to
+        per-pair ``schedule_at`` calls in the same order.
+        """
+        self._queue.push_batch(pairs, callback, priority, label, floor=self.now)
 
     def timer(self, duration: float, callback: Callable[[], None], name: str = "") -> Timer:
         """Create a (not yet started) :class:`Timer`."""
@@ -192,22 +223,40 @@ class Simulator:
         self._stopped = False
         processed = 0
         queue = self._queue
+        # The heap is walked directly (the body of EventQueue.pop_due,
+        # inlined): this loop runs once per simulated event, so both the
+        # method call and the Event property accessors are real overhead.
+        # Compaction rewrites the heap in place, so the alias stays valid.
+        heap = queue._heap
+        pop = heappop
+        # Infinity sentinels keep the per-event loop free of None checks.
+        limit = inf if until is None else until
+        budget = inf if max_events is None else max_events
         try:
             while not self._stopped:
-                if max_events is not None and processed >= max_events:
+                if processed >= budget:
                     next_time = queue.peek_time()
-                    if next_time is None or (until is not None and next_time > until):
+                    if next_time is None or next_time > limit:
                         break
                     raise SimulationError(
                         f"exceeded max_events={max_events}; the scenario may be livelocked"
                     )
-                event = queue.pop_due(until)
+                event = None
+                while heap:
+                    head = heap[0]
+                    if head[CANCELLED]:
+                        pop(heap)
+                        if queue._cancelled:
+                            queue._cancelled -= 1
+                        continue
+                    if head[TIME] > limit:
+                        break
+                    event = pop(heap)
+                    break
                 if event is None:
                     break
-                # Index access over the Event list layout: this loop runs once
-                # per simulated event, so property calls are real overhead.
+                queue._live -= 1
                 self.now = event[TIME]
-                self._events_processed += 1
                 arg = event[ARG]
                 if arg is None:
                     event[CALLBACK]()
@@ -217,6 +266,9 @@ class Simulator:
             if until is not None and self.now < until and not self._stopped:
                 self.now = until
         finally:
+            # The per-run counter is folded in once instead of per event
+            # (nothing reads events_processed from inside a callback).
+            self._events_processed += processed
             self._running = False
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> None:

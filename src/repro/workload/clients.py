@@ -34,6 +34,10 @@ class _Thread:
     outstanding_txn: Optional[Transaction] = None
     submitted_at: float = 0.0
     completed: int = 0
+    #: The pending retry watchdog, cancelled as soon as the response lands so
+    #: long-deadline retry events do not pile up in the simulator's heap (one
+    #: per completed operation otherwise).
+    retry_event: Optional[object] = None
 
 
 class WorkloadClient(Process):
@@ -73,6 +77,7 @@ class WorkloadClient(Process):
         self.start_delay = start_delay
         self.apl: Optional[AuthenticatedPerfectLink] = None
         self._network = network
+        self._retry_label = f"{client_id}:retry"
         self._by_txn: Dict[str, _Thread] = {}
         self._target_index = 0
         #: Replicas that timed out recently; skipped while alternatives exist
@@ -91,6 +96,12 @@ class WorkloadClient(Process):
     # Submission
     # ------------------------------------------------------------------ #
     def _next_target(self) -> str:
+        if not self._suspected:
+            # Fast path: plain round-robin while every replica is healthy.
+            targets = self.target_replicas
+            target = targets[self._target_index % len(targets)]
+            self._target_index += 1
+            return target
         for _ in range(len(self.target_replicas)):
             target = self.target_replicas[self._target_index % len(self.target_replicas)]
             self._target_index += 1
@@ -119,11 +130,28 @@ class WorkloadClient(Process):
         thread.submitted_at = self.now
         self._by_txn[transaction.txn_id] = thread
         self.apl.send(target, ClientRequest(transaction=transaction))
-        self.after(
-            self.retry_timeout,
-            lambda t=thread, txn=transaction: self._maybe_retry(t, txn),
-            label=f"{self.process_id}:retry",
+        self._arm_retry(thread, transaction)
+
+    def _arm_retry(self, thread: _Thread, transaction: Transaction) -> None:
+        """Schedule the retry watchdog as a bound method (no per-op closure)."""
+        thread.retry_event = self.simulator.schedule(
+            self.retry_timeout, self._on_retry_timeout, 0, self._retry_label, (thread, transaction)
         )
+
+    def _cancel_retry(self, thread: _Thread) -> None:
+        event = thread.retry_event
+        if event is not None:
+            thread.retry_event = None
+            if not event.cancelled:
+                event.cancel()
+                self.simulator.notify_cancel()
+
+    def _on_retry_timeout(self, armed) -> None:
+        thread, transaction = armed
+        thread.retry_event = None
+        if self.crashed:
+            return
+        self._maybe_retry(thread, transaction)
 
     def _maybe_retry(self, thread: _Thread, transaction: Transaction) -> None:
         if self.apl is None:
@@ -135,11 +163,7 @@ class WorkloadClient(Process):
         self._suspected.add(transaction.origin_replica)
         target = self._next_target()
         self.apl.send(target, ClientRequest(transaction=transaction))
-        self.after(
-            self.retry_timeout,
-            lambda t=thread, txn=transaction: self._maybe_retry(t, txn),
-            label=f"{self.process_id}:retry",
-        )
+        self._arm_retry(thread, transaction)
 
     # ------------------------------------------------------------------ #
     # Responses
@@ -157,6 +181,7 @@ class WorkloadClient(Process):
         latency = self.now - thread.submitted_at
         thread.outstanding_txn = None
         thread.completed += 1
+        self._cancel_retry(thread)
         if transaction.is_read:
             self.completed_reads += 1
         else:

@@ -1,15 +1,25 @@
 """Zipfian key chooser used by the YCSB workload.
 
-Implements the standard cumulative-probability inversion over a finite key
-space with exponent ``theta`` (YCSB's default is 0.99).  The CDF is
-precomputed once, so drawing a key is a binary search — fast enough for the
-millions of operations a throughput experiment issues.
+Key popularity follows a Zipfian distribution with exponent ``theta``
+(YCSB's default is 0.99) over a finite key space.  Two structures are
+precomputed at construction time:
+
+* the CDF, which backs :meth:`ZipfianGenerator.probability` (and the
+  chi-squared agreement test between the two structures), and
+* a Walker/Vose *alias table*, which makes :meth:`ZipfianGenerator.next`
+  O(1): one uniform draw selects a column and the fractional part decides
+  between the column and its alias.
+
+A draw consumes exactly one uniform from the generator's stream (as the
+old binary-search implementation did), so sibling RNG streams — and
+therefore whole-simulation determinism — are unaffected by the table.
+The *mapping* from uniform to key differs from CDF inversion, but key
+identity never feeds timing or sizes, only store contents.
 """
 
 from __future__ import annotations
 
-import bisect
-from typing import List
+from typing import List, Tuple
 
 from repro.errors import WorkloadError
 from repro.sim.rng import SeededRng
@@ -32,7 +42,9 @@ class ZipfianGenerator:
         self.item_count = item_count
         self.theta = theta
         self._rng = rng
+        self._random = rng.raw_random
         self._cdf = self._build_cdf()
+        self._prob, self._alias = self._build_alias()
 
     def _build_cdf(self) -> List[float]:
         weights = [1.0 / ((rank + 1) ** self.theta) for rank in range(self.item_count)]
@@ -45,10 +57,45 @@ class ZipfianGenerator:
         cdf[-1] = 1.0
         return cdf
 
+    def _build_alias(self) -> Tuple[List[float], List[int]]:
+        """Walker/Vose alias table over the same per-rank probabilities.
+
+        Column ``i`` keeps its own mass with probability ``prob[i]`` and
+        donates the rest of the column to ``alias[i]``; a draw is then one
+        uniform split into (column, fraction).
+        """
+        n = self.item_count
+        # Per-rank probability scaled by n, derived from the CDF so the two
+        # structures agree exactly on each rank's mass.
+        scaled: List[float] = []
+        previous = 0.0
+        for value in self._cdf:
+            scaled.append((value - previous) * n)
+            previous = value
+        prob = [1.0] * n
+        alias = list(range(n))
+        small = [i for i, p in enumerate(scaled) if p < 1.0]
+        large = [i for i, p in enumerate(scaled) if p >= 1.0]
+        while small and large:
+            lean = small.pop()
+            rich = large.pop()
+            prob[lean] = scaled[lean]
+            alias[lean] = rich
+            scaled[rich] = (scaled[rich] + scaled[lean]) - 1.0
+            if scaled[rich] < 1.0:
+                small.append(rich)
+            else:
+                large.append(rich)
+        # Whatever remains (numerical leftovers) keeps its full column.
+        return prob, alias
+
     def next(self) -> int:
-        """Draw the next item index."""
-        u = self._rng.random()
-        return bisect.bisect_left(self._cdf, u)
+        """Draw the next item index (O(1): one uniform, one table probe)."""
+        scaled = self._random() * self.item_count
+        index = int(scaled)
+        if scaled - index < self._prob[index]:
+            return index
+        return self._alias[index]
 
     def probability(self, rank: int) -> float:
         """The probability of drawing the item at ``rank`` (0-based)."""

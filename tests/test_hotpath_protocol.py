@@ -1,0 +1,271 @@
+"""Regression tests for the protocol/workload hot-path PR.
+
+Covers the batched multicast scheduling, the resident CPU-queue drain's
+FIFO guarantee, the Zipf alias table, and the protocol-layer caches
+(view epochs, bundle digests) — alongside the pre-existing goldens in
+``test_hotpath_and_fixes.py``, which pin the whole refactor to
+bit-identical simulation results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.types import OperationsBundle, make_transaction
+from repro.net.crypto import KeyRegistry
+from repro.net.latency import LatencyModel
+from repro.net.links import AuthenticatedPerfectLink
+from repro.net.message import Message
+from repro.net.network import Network, NetworkConfig
+from repro.sim.events import EventQueue, noop
+from repro.sim.process import Process
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import Simulator
+from repro.workload.zipf import ZipfianGenerator
+
+
+# ---------------------------------------------------------------------- #
+# Batched scheduling: push_batch equals per-pair pushes
+# ---------------------------------------------------------------------- #
+class TestScheduleBatch:
+    def test_pop_order_matches_individual_pushes(self):
+        rng = SeededRng(5, "batch")
+        times = [rng.random() * 10 for _ in range(500)]
+        individual = EventQueue()
+        for index, t in enumerate(times):
+            individual.push(t, noop, arg=index)
+        batched = EventQueue()
+        # Mixed insertion: a few singles, then bulk batches of varying size.
+        batched.push(times[0], noop, arg=0)
+        batched.push(times[1], noop, arg=1)
+        batched.push_batch([(t, i + 2) for i, t in enumerate(times[2:102])], noop)
+        batched.push_batch([(t, i + 102) for i, t in enumerate(times[102:110])], noop)
+        batched.push_batch([(t, i + 110) for i, t in enumerate(times[110:])], noop)
+        order_a = []
+        order_b = []
+        while True:
+            event = individual.pop()
+            if event is None:
+                break
+            order_a.append((event.time, event.sequence, event.arg))
+        while True:
+            event = batched.pop()
+            if event is None:
+                break
+            order_b.append((event.time, event.sequence, event.arg))
+        assert order_a == order_b
+
+    def test_schedule_batch_rejects_past_times(self):
+        sim = Simulator()
+        sim.schedule(1.0, noop)
+        sim.run()
+        assert sim.now == 1.0
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            sim.schedule_batch([(0.5, None)], noop)
+
+    def test_large_batch_triggers_bulk_heapify_path(self):
+        queue = EventQueue()
+        queue.push(100.0, noop)
+        queue.push_batch([(float(i), i) for i in range(64)], noop)
+        assert len(queue) == 65
+        drained = [queue.pop().time for _ in range(65)]
+        assert drained == sorted(drained)
+
+
+# ---------------------------------------------------------------------- #
+# Resident CPU-queue drain: per-destination FIFO under multicast bursts
+# ---------------------------------------------------------------------- #
+class _Recorder(Process):
+    def __init__(self, process_id, simulator):
+        super().__init__(process_id, simulator)
+        self.received = []
+
+    def on_message(self, sender, envelope):
+        self.received.append(envelope.payload.marker)
+
+
+class _Marked(Message):
+    def __init__(self, marker):
+        self.marker = marker
+
+    def estimated_size(self) -> int:
+        return 256
+
+    def verification_cost(self) -> int:
+        return 3  # long enough processing to force queueing under bursts
+
+
+class _ArrivalRecordingNetwork(Network):
+    """Records the arrival (pre-CPU-queue) order per destination."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.arrival_order = {}
+
+    def _deliver(self, envelope):
+        self.arrival_order.setdefault(envelope.destination, []).append(envelope.payload.marker)
+        super()._deliver(envelope)
+
+
+class TestCpuDrainFifo:
+    def _build(self, seed, network_cls=Network):
+        sim = Simulator(seed=seed)
+        registry = KeyRegistry(seed=seed)
+        network = network_cls(sim, LatencyModel(sim.rng), registry, NetworkConfig())
+        senders = []
+        receivers = []
+        for index in range(4):
+            receiver = _Recorder(f"r{index}", sim)
+            network.register(receiver, region="us-west1")
+            receivers.append(receiver)
+        for index in range(3):
+            sender = _Recorder(f"s{index}", sim)
+            network.register(sender, region="us-west1")
+            senders.append(sender)
+        return sim, network, senders, receivers
+
+    def test_delivery_order_equals_arrival_order_across_random_bursts(self):
+        """Property-style check over several seeds and randomized bursts."""
+        for seed in (1, 2, 3, 4, 5):
+            sim, network, senders, receivers = self._build(
+                seed, network_cls=_ArrivalRecordingNetwork
+            )
+            links = {s.process_id: AuthenticatedPerfectLink(s.process_id, network) for s in senders}
+            rng = SeededRng(seed, "bursts")
+            marker = 0
+            for wave in range(20):
+                at = wave * 0.002
+                for sender in senders:
+                    if rng.random() < 0.7:
+                        count = rng.randint(1, 4)
+                        for _ in range(count):
+                            payload = _Marked(marker)
+                            marker += 1
+                            targets = [r.process_id for r in receivers]
+                            sim.schedule_at(
+                                at,
+                                lambda l=links[sender.process_id], t=targets, p=payload: l.send_many(t, p),
+                            )
+            sim.run()
+            # No crashes or drops in this scenario, so the hand-over order at
+            # every destination must equal the recorded arrival order exactly.
+            for receiver in receivers:
+                assert receiver.received == network.arrival_order.get(receiver.process_id, []), (
+                    f"FIFO violated at {receiver.process_id} (seed {seed})"
+                )
+                assert receiver.received, "scenario must actually deliver traffic"
+
+    def test_sustained_burst_drains_completely_in_arrival_order(self):
+        sim, network, senders, receivers = self._build(
+            seed=9, network_cls=_ArrivalRecordingNetwork
+        )
+        link = AuthenticatedPerfectLink(senders[0].process_id, network)
+        destination = receivers[0].process_id
+        for index in range(50):
+            link.send(destination, _Marked(index))
+        sim.run()
+        # Per-message jitter may reorder *arrivals*; the CPU drain must then
+        # hand over exactly in that arrival order, losing nothing.
+        assert receivers[0].received == network.arrival_order[destination]
+        assert sorted(receivers[0].received) == list(range(50))
+
+    def test_crash_mid_queue_drops_remaining_messages(self):
+        sim, network, senders, receivers = self._build(seed=10)
+        link = AuthenticatedPerfectLink(senders[0].process_id, network)
+        destination = receivers[0].process_id
+        for index in range(10):
+            link.send(destination, _Marked(index))
+        # Crash the receiver shortly after the first arrivals.
+        sim.schedule(0.0009, receivers[0].crash)
+        sim.run()
+        delivered = len(receivers[0].received)
+        assert delivered < 10
+        assert network.stats.messages_dropped == 10 - delivered
+
+
+# ---------------------------------------------------------------------- #
+# Zipf alias table
+# ---------------------------------------------------------------------- #
+class TestZipfAlias:
+    def test_distribution_agrees_with_cdf_probabilities(self):
+        """Chi-squared agreement between alias draws and probability()."""
+        items = 50
+        draws = 200_000
+        generator = ZipfianGenerator(items, 0.99, SeededRng(123, "zipf-chi"))
+        counts = [0] * items
+        for _ in range(draws):
+            counts[generator.next()] += 1
+        chi = 0.0
+        for rank in range(items):
+            expected = generator.probability(rank) * draws
+            chi += (counts[rank] - expected) ** 2 / expected
+        # 49 degrees of freedom: p=0.001 critical value is ~85.4.
+        assert chi < 85.4, f"chi-squared {chi:.1f} too large; alias table disagrees with CDF"
+
+    def test_probabilities_sum_to_one_and_match_alias_mass(self):
+        generator = ZipfianGenerator(64, 0.99, SeededRng(7, "zipf-mass"))
+        total = sum(generator.probability(rank) for rank in range(64))
+        assert math.isclose(total, 1.0, rel_tol=1e-9)
+        # The alias table redistributes exactly the same total mass.
+        mass = [0.0] * 64
+        for index in range(64):
+            mass[index] += generator._prob[index] / 64
+            mass[generator._alias[index]] += (1.0 - generator._prob[index]) / 64
+        for rank in range(64):
+            assert math.isclose(mass[rank], generator.probability(rank), abs_tol=1e-9)
+
+    def test_same_seed_generators_draw_identically(self):
+        a = ZipfianGenerator(1000, 0.99, SeededRng(42, "zipf-det"))
+        b = ZipfianGenerator(1000, 0.99, SeededRng(42, "zipf-det"))
+        assert [a.next() for _ in range(2000)] == [b.next() for _ in range(2000)]
+
+    def test_one_uniform_draw_per_next(self):
+        """The alias table must consume the rng stream exactly like the old
+        CDF inversion did (one uniform per draw), so sibling streams — and
+        therefore whole-simulation determinism — are unaffected."""
+        rng = SeededRng(5, "zipf-stream")
+        generator = ZipfianGenerator(100, 0.99, rng)
+        reference = SeededRng(5, "zipf-stream")
+        for _ in range(500):
+            generator.next()
+            reference.random()
+        assert rng.random() == reference.random()
+
+
+# ---------------------------------------------------------------------- #
+# Protocol-layer caches
+# ---------------------------------------------------------------------- #
+class TestBundleCaches:
+    def _bundle(self):
+        txns = [make_transaction("c", "r0", "write", f"k{i}", value="v") for i in range(10)]
+        return OperationsBundle(cluster_id=0, round_number=1, transactions=txns)
+
+    def test_size_bytes_cached_and_stable(self):
+        bundle = self._bundle()
+        first = bundle.size_bytes()
+        assert bundle.size_bytes() == first
+        assert first == 256 + 10 * 1024
+
+    def test_digest_cached_and_distinct_per_bundle(self):
+        a = self._bundle()
+        b = self._bundle()
+        assert a.digest() == a.digest()
+        assert a.digest() != b.digest()  # different txn ids
+
+    def test_view_cache_invalidated_by_reconfig(self):
+        from tests.helpers import small_deployment
+
+        deployment = small_deployment()
+        replica = deployment.replicas["c0/r0"]
+        before = replica.members(0)
+        assert replica.members(0) is before  # cached list identity
+        from repro.core.types import join_request
+
+        replica._apply_reconfig(0, join_request("joiner", 0, "us-west1"))
+        after = replica.members(0)
+        assert after is not before
+        assert "joiner" in after
