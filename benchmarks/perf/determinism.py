@@ -1,0 +1,70 @@
+"""Fixed-seed determinism probe for the perf suite.
+
+Runs a small pinned scenario twice in-process and fingerprints the result.
+The fingerprint covers the full :class:`~repro.harness.runner.ResultRow`
+JSON (metrics, network counters, labels) plus the kernel event count, so
+*any* change to simulated behaviour — timing, ordering, delivery
+discipline — changes it.
+
+The probe is deliberately independent of ``--quick``: it always runs the
+same shape, so a quick CI run can be compared against a committed full run.
+Timing comparisons between perf reports stay non-gating (shared-runner
+noise); the determinism fingerprint is the one thing the perf-smoke job
+*fails* on, because a mismatch means behaviour drifted without a sanctioned
+golden re-pin (see ``tests/repin_goldens.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+#: Bump when the probe scenario itself changes, so fingerprint mismatches
+#: caused by probe redefinition are distinguishable from behaviour drift.
+PROBE_VERSION = 1
+
+
+def _probe_spec():
+    from repro.harness.builder import Scenario
+
+    return (
+        Scenario("determinism-probe")
+        .clusters(4, 4)
+        .engine("hotstuff")
+        .threads(4)
+        .duration(0.75, warmup=0.1)
+        .seeds(7)
+        .spec()
+    )
+
+
+def run_probe() -> Dict[str, object]:
+    """Run the probe twice; return fingerprint plus a repeatability verdict."""
+    import json
+
+    def one_run() -> str:
+        spec = _probe_spec()
+        deployment = spec.build()
+        metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+        return json.dumps(
+            {
+                "summary": metrics.summary(),
+                "network": deployment.network.stats.snapshot(),
+                "events": deployment.simulator.events_processed,
+            },
+            sort_keys=True,
+        )
+
+    first = one_run()
+    second = one_run()
+    payload = f"v{PROBE_VERSION}|{first}".encode("utf-8")
+    return {
+        "probe_version": PROBE_VERSION,
+        "scenario": "determinism-probe (4+4 hotstuff, 0.75s, seed 7)",
+        "events": json.loads(first)["events"],
+        "fingerprint": hashlib.sha256(payload).hexdigest(),
+        "repeat_identical": first == second,
+    }
+
+
+__all__ = ["PROBE_VERSION", "run_probe"]

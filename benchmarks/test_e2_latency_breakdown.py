@@ -20,3 +20,7 @@ def test_e2_latency_breakdown(benchmark):
     # Reads are served locally and stay far cheaper than writes everywhere.
     for row in rows:
         assert row["read_latency_ms"] < row["write_latency_ms"]
+    # Mean wire link latency grows with the region spread and is not diluted
+    # by 0 ms self-deliveries (excluded from the aggregate by construction).
+    assert three["link_latency_ms"] > one["link_latency_ms"] > 0
+

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 from repro.net.crypto import Certificate, KeyRegistry
 from repro.net.links import AuthenticatedBestEffortBroadcast, AuthenticatedPerfectLink
@@ -84,8 +84,16 @@ class TotalOrderBroadcast(ABC):
     Args:
         owner: Replica id this engine instance runs at.
         cluster_id: Numeric id of the local cluster.
-        members_fn: Callable returning the *current* sorted cluster members;
-            a callable (not a list) so reconfiguration is picked up each use.
+        members_fn: Callable returning the *current* cluster membership as a
+            **sorted tuple** (the ``members_fn`` contract, shared by the
+            engines, BRD, and leader election).  A callable (not a list) so
+            reconfiguration is picked up each use; sortedness is the
+            supplier's responsibility — consumers never re-sort, because
+            membership order decides leader rotation and re-sorting per
+            message is measurable (~9k defensive sorts per macro run before
+            the contract was tightened).  Replicas supply their per-view
+            cached sorted views; test stubs must use sorted tuples too (see
+            ``tests/helpers.py``).
         faults_fn: Callable returning the current failure threshold ``f``.
         network: Simulated network.
         simulator: Simulation kernel.
@@ -133,8 +141,8 @@ class TotalOrderBroadcast(ABC):
         """The key registry shared by the network."""
         return self.network.registry
 
-    def members(self) -> List[str]:
-        """Current cluster membership (sorted by the ``members_fn`` contract).
+    def members(self) -> Sequence[str]:
+        """Current cluster membership (a sorted tuple, per the contract).
 
         No defensive re-sort: the replica supplies a cached sorted view, the
         engines only use this for quorum checks (order-insensitive) and the

@@ -12,7 +12,7 @@ carries a remote quorum of signatures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Set
+from typing import Callable, Optional, Sequence, Set
 
 from repro.net.links import AuthenticatedBestEffortBroadcast
 from repro.net.message import Envelope, Message
@@ -33,7 +33,9 @@ class LeaderElection:
     Args:
         owner: Replica id this module runs at.
         cluster_id: Numeric id of the local cluster.
-        members_fn: Callable returning the current cluster membership.
+        members_fn: Callable returning the current cluster membership as a
+            sorted tuple (the contract documented in
+            :class:`repro.consensus.interface.TotalOrderBroadcast`).
         faults_fn: Callable returning the current failure threshold ``f``.
         network: The simulated network (used for the complaint broadcast).
         on_new_leader: Callback ``(leader_id, ts) -> None`` invoked whenever a
@@ -46,7 +48,7 @@ class LeaderElection:
         self,
         owner: str,
         cluster_id: int,
-        members_fn: Callable[[], List[str]],
+        members_fn: Callable[[], Sequence[str]],
         faults_fn: Callable[[], int],
         network: Network,
         on_new_leader: Callable[[str, int], None],
@@ -65,15 +67,15 @@ class LeaderElection:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
-    def members(self) -> List[str]:
+    def members(self) -> Sequence[str]:
         """Sorted current membership, the round-robin order for leaders.
 
-        The defensive sort is kept here deliberately (unlike the engines'
-        and BRD's ``members()``, which only do order-insensitive quorum and
-        membership checks): this list's *order* decides leader rotation, so
-        an unsorted ``members_fn`` stub must not change who gets elected.
+        No defensive re-sort: the ``members_fn`` contract (see
+        :class:`repro.consensus.interface.TotalOrderBroadcast`) guarantees a
+        sorted tuple, precisely so that this order — which decides leader
+        rotation — is stable without paying a per-complaint sort.
         """
-        return sorted(self.members_fn())
+        return self.members_fn()
 
     def current_leader(self) -> str:
         """The leader implied by the current timestamp."""

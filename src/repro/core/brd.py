@@ -22,7 +22,7 @@ reconfiguration set is the cluster's uniform decision for the round.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.messages import BrdAgg, BrdEcho, BrdReady, BrdSubmit, BrdValid
 from repro.core.types import ReconfigRequest
@@ -97,7 +97,8 @@ class ByzantineReliableDissemination:
         owner: Replica id this instance runs at.
         cluster_id: Local cluster id.
         round_number: The round this instance disseminates for.
-        members_fn: Callable returning current cluster membership.
+        members_fn: Callable returning current cluster membership as a
+            sorted tuple (the ``members_fn`` contract).
         faults_fn: Callable returning the current failure threshold ``f``.
         network: Simulated network.
         simulator: Simulation kernel (for the delivery timer).
@@ -158,15 +159,33 @@ class ByzantineReliableDissemination:
         self._ready_certs: Dict[str, Certificate] = {}
         self._agg_proofs: Dict[str, CollectionProof] = {}
 
+        #: Per-instance memo of the submit/echo/ready digest strings, keyed
+        #: by (kind, canonical recs).  Every received vote used to rebuild
+        #: the same f-string (and re-walk the recs digest) to compare
+        #: against the signature; one instance sees ~2n of each phase, and
+        #: the recs tuple is almost always empty.
+        self._digest_memo: Dict[Tuple[str, Tuple[ReconfigRequest, ...]], str] = {}
+
         self._timer = simulator.timer(
             timeout, self._on_timeout, name=f"{owner}:brd:{round_number}"
         )
 
+    def _phase_digest(self, kind: str, recs: Tuple[ReconfigRequest, ...]) -> str:
+        """Memoised ``{submit,echo,ready}_digest`` for canonical ``recs``."""
+        memo = self._digest_memo
+        key = (kind, recs)
+        digest = memo.get(key)
+        if digest is None:
+            digest = memo[key] = (
+                f"brd-{kind}|c{self.cluster_id}|r{self.round_number}|{payload_digest(recs)}"
+            )
+        return digest
+
     # ------------------------------------------------------------------ #
     # Membership helpers
     # ------------------------------------------------------------------ #
-    def members(self) -> List[str]:
-        """Current cluster membership (sorted by the ``members_fn`` contract).
+    def members(self) -> Sequence[str]:
+        """Current cluster membership (a sorted tuple, per the contract).
 
         No defensive re-sort: BRD only uses this for membership and quorum
         checks (order-insensitive), and it runs once per echo/ready message.
@@ -193,7 +212,7 @@ class ByzantineReliableDissemination:
         """Submit this replica's collected reconfiguration set (Alg. 5 l.13)."""
         self.my_recs = canonical_recs(recs)
         signature = self.registry.sign(
-            self.owner, submit_digest(self.cluster_id, self.round_number, self.my_recs)
+            self.owner, self._phase_digest("submit", self.my_recs)
         )
         self.apl.send(
             self.leader,
@@ -235,7 +254,7 @@ class ByzantineReliableDissemination:
             )
         elif self.my_recs is not None:
             signature = self.registry.sign(
-                self.owner, submit_digest(self.cluster_id, self.round_number, self.my_recs)
+                self.owner, self._phase_digest("submit", self.my_recs)
             )
             self.apl.send(
                 self.leader,
@@ -281,7 +300,7 @@ class ByzantineReliableDissemination:
         if sender not in self.members():
             return
         recs = canonical_recs(message.recs)
-        expected = submit_digest(self.cluster_id, self.round_number, recs)
+        expected = self._phase_digest("submit", recs)
         if message.signature is None or message.signature.digest != expected:
             return
         if message.signature.signer != sender or not self.registry.verify(message.signature):
@@ -363,7 +382,7 @@ class ByzantineReliableDissemination:
             if not self._attestation_valid(recs, attestation, message.attestation_kind):
                 return
         self.echoed = True
-        digest = echo_digest(self.cluster_id, self.round_number, recs)
+        digest = self._phase_digest("echo", recs)
         self.abeb.broadcast(
             BrdEcho(
                 cluster_id=self.cluster_id,
@@ -376,7 +395,7 @@ class ByzantineReliableDissemination:
 
     def _on_echo(self, sender: str, message: BrdEcho) -> None:
         recs = canonical_recs(message.recs)
-        digest = echo_digest(self.cluster_id, self.round_number, recs)
+        digest = self._phase_digest("echo", recs)
         signature = message.echo_signature
         if signature is None or signature.digest != digest or signature.signer != sender:
             return
@@ -389,7 +408,7 @@ class ByzantineReliableDissemination:
 
     def _on_ready(self, sender: str, message: BrdReady) -> None:
         recs = canonical_recs(message.recs)
-        digest = ready_digest(self.cluster_id, self.round_number, recs)
+        digest = self._phase_digest("ready", recs)
         signature = message.ready_signature
         if signature is None or signature.digest != digest or signature.signer != sender:
             return
@@ -412,7 +431,7 @@ class ByzantineReliableDissemination:
         self.valid = _ValidSet(
             recs=recs, certificate=certificate.copy(), kind=kind, view_ts=self.view_ts
         )
-        digest = ready_digest(self.cluster_id, self.round_number, recs)
+        digest = self._phase_digest("ready", recs)
         self.abeb.broadcast(
             BrdReady(
                 cluster_id=self.cluster_id,
@@ -434,7 +453,7 @@ class ByzantineReliableDissemination:
         for entry in proof.entries:
             if entry.sender not in members or entry.sender in senders:
                 continue
-            expected = submit_digest(self.cluster_id, self.round_number, entry.recs)
+            expected = self._phase_digest("submit", canonical_recs(entry.recs))
             if entry.signature.digest != expected or entry.signature.signer != entry.sender:
                 continue
             if not self.registry.verify(entry.signature):
@@ -451,10 +470,10 @@ class ByzantineReliableDissemination:
         members = self.members()
         faults = self.faults_fn()
         if kind == "echo":
-            digest = echo_digest(self.cluster_id, self.round_number, recs)
+            digest = self._phase_digest("echo", canonical_recs(recs))
             return self.registry.certificate_valid(certificate, members, 2 * faults + 1, digest=digest)
         if kind == "ready":
-            digest = ready_digest(self.cluster_id, self.round_number, recs)
+            digest = self._phase_digest("ready", canonical_recs(recs))
             return self.registry.certificate_valid(certificate, members, faults + 1, digest=digest)
         return False
 

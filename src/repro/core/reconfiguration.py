@@ -31,8 +31,9 @@ class ReconfigurationCollector:
         owner: Replica id.
         cluster_id: The local cluster.
         network: Simulated network (used to send acknowledgements).
-        members_fn: Callable returning current local membership (included in
-            the acknowledgement so requesters can detect configuration skew).
+        members_fn: Callable returning current local membership as a sorted
+            tuple (included in the acknowledgement so requesters can detect
+            configuration skew).
         round_fn: Callable returning the current round.
     """
 
@@ -107,7 +108,7 @@ class ReconfigurationCollector:
             ReconfigAck(
                 cluster_id=self.cluster_id,
                 round_number=self.round_fn(),
-                members=tuple(sorted(self.members_fn())),
+                members=tuple(self.members_fn()),
             ),
         )
 

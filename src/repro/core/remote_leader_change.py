@@ -44,7 +44,13 @@ class RemoteLeaderChange:
         owner: Replica id.
         cluster_id: The local cluster (``i`` in the paper).
         view_fn: Callable returning the replica's membership view
-            ``{cluster_id: set(members)}``.
+            ``{cluster_id: set(members)}`` (used for cluster-existence
+            checks only).
+        members_of_fn: Callable ``(cluster_id) -> sorted tuple of members``
+            under the current view — the per-cluster form of the
+            ``members_fn`` contract.  The replica supplies its per-view
+            cached sorted views, so this module never re-sorts raw view
+            sets (it used to, ~3 sorts per complaint message).
         faults_fn: Callable ``(cluster_id) -> f_j`` under the current view.
         round_fn: Callable returning the replica's current round.
         has_operations_fn: Callable ``(cluster_id) -> bool`` — whether the
@@ -66,6 +72,7 @@ class RemoteLeaderChange:
         owner: str,
         cluster_id: int,
         view_fn: Callable[[], Dict[int, set]],
+        members_of_fn: Callable[[int], Tuple[str, ...]],
         faults_fn: Callable[[int], int],
         round_fn: Callable[[], int],
         has_operations_fn: Callable[[int], bool],
@@ -79,6 +86,7 @@ class RemoteLeaderChange:
         self.owner = owner
         self.cluster_id = cluster_id
         self.view_fn = view_fn
+        self.members_of_fn = members_of_fn
         self.faults_fn = faults_fn
         self.round_fn = round_fn
         self.has_operations_fn = has_operations_fn
@@ -90,7 +98,7 @@ class RemoteLeaderChange:
         self.last_leader_change_fn = last_leader_change_fn
         self.apl = AuthenticatedPerfectLink(owner, network)
         self.abeb = AuthenticatedBestEffortBroadcast(
-            owner, network, lambda: sorted(self.view_fn()[self.cluster_id])
+            owner, network, lambda: members_of_fn(cluster_id)
         )
         self._watches: Dict[int, _ClusterWatch] = {}
         #: Count of leader changes this replica triggered via remote complaints
@@ -105,13 +113,13 @@ class RemoteLeaderChange:
             self._watches[cluster_id] = _ClusterWatch()
         return self._watches[cluster_id]
 
-    def local_members(self) -> List[str]:
+    def local_members(self) -> Tuple[str, ...]:
         """Sorted members of the local cluster under the current view."""
-        return sorted(self.view_fn()[self.cluster_id])
+        return self.members_of_fn(self.cluster_id)
 
-    def remote_members(self, cluster_id: int) -> List[str]:
+    def remote_members(self, cluster_id: int) -> Tuple[str, ...]:
         """Sorted members of a remote cluster under the current view."""
-        return sorted(self.view_fn()[cluster_id])
+        return self.members_of_fn(cluster_id)
 
     def complaint_number(self, cluster_id: int) -> int:
         """Current outgoing complaint number for a remote cluster."""

@@ -147,13 +147,16 @@ class HamavaReplica(Process):
         self.round_number = 1
         self.kv = KeyValueStore()
 
-        # Per-view-epoch caches of the sorted membership lists and the sorted
-        # cluster order.  ``members()``/``local_members()`` are called for
-        # every message sent or validated, so re-sorting the view per call is
-        # pure overhead; the caches are invalidated whenever the view changes
-        # (reconfiguration execution, state-transfer adoption).  Callers
-        # treat the returned lists as read-only (they slice or copy).
-        self._members_cache: Dict[int, List[str]] = {}
+        # Per-view-epoch caches of the sorted membership tuples and the
+        # sorted cluster order.  ``members()``/``local_members()`` are called
+        # for every message sent or validated, so re-sorting the view per
+        # call is pure overhead; the caches are invalidated whenever the view
+        # changes (reconfiguration execution, state-transfer adoption).  The
+        # cached values are *tuples* — the ``members_fn`` contract (see
+        # ``consensus/interface.py``) promises the engines, BRD, leader
+        # election, and RLC an immutable sorted sequence they never re-sort.
+        self._members_cache: Dict[int, Tuple[str, ...]] = {}
+        self._faults_cache: Dict[int, int] = {}
         self._view_order_cache: Optional[List[int]] = None
 
         network.register(self, system_config.region_of_cluster(cluster_id))
@@ -199,6 +202,7 @@ class HamavaReplica(Process):
             owner=replica_id,
             cluster_id=cluster_id,
             view_fn=lambda: self.view,
+            members_of_fn=self.members,
             faults_fn=self.faults,
             round_fn=lambda: self.round_number,
             has_operations_fn=lambda cid: cid in self.operations,
@@ -265,20 +269,20 @@ class HamavaReplica(Process):
     # ------------------------------------------------------------------ #
     # Membership helpers
     # ------------------------------------------------------------------ #
-    def local_members(self) -> List[str]:
-        """Sorted members of the local cluster under the current view."""
+    def local_members(self) -> Tuple[str, ...]:
+        """Sorted member tuple of the local cluster under the current view."""
         cache = self._members_cache
         members = cache.get(self.cluster_id)
         if members is None:
-            members = cache[self.cluster_id] = sorted(self.view[self.cluster_id])
+            members = cache[self.cluster_id] = tuple(sorted(self.view[self.cluster_id]))
         return members
 
-    def members(self, cluster_id: int) -> List[str]:
-        """Sorted members of any cluster under the current view."""
+    def members(self, cluster_id: int) -> Tuple[str, ...]:
+        """Sorted member tuple of any cluster under the current view."""
         cache = self._members_cache
         members = cache.get(cluster_id)
         if members is None:
-            members = cache[cluster_id] = sorted(self.view[cluster_id])
+            members = cache[cluster_id] = tuple(sorted(self.view[cluster_id]))
         return members
 
     def _sorted_view_ids(self) -> List[int]:
@@ -290,11 +294,21 @@ class HamavaReplica(Process):
 
     def _invalidate_view_caches(self) -> None:
         self._members_cache.clear()
+        self._faults_cache.clear()
         self._view_order_cache = None
 
     def faults(self, cluster_id: int) -> int:
-        """Failure threshold ``f_j`` of a cluster under the current view."""
-        return failure_threshold(len(self.view[cluster_id]))
+        """Failure threshold ``f_j`` of a cluster under the current view.
+
+        Cached per view epoch alongside the member tuples: quorum checks ask
+        for ``f`` on every vote and share, and the threshold only changes
+        when the view does.
+        """
+        cache = self._faults_cache
+        faults = cache.get(cluster_id)
+        if faults is None:
+            faults = cache[cluster_id] = failure_threshold(len(self.view[cluster_id]))
+        return faults
 
     def local_faults(self) -> int:
         """Failure threshold of the local cluster."""
@@ -539,7 +553,7 @@ class HamavaReplica(Process):
             return
         if message.round_number > self.round_number:
             self._buffered_shares.setdefault(message.round_number, []).append(
-                (sender, Envelope(sender=sender, destination=self.process_id, payload=message))
+                (sender, Envelope(sender, message))
             )
             return
         if message.cluster_id in self.operations:
@@ -668,7 +682,7 @@ class HamavaReplica(Process):
                 CurrState(
                     cluster_id=self.cluster_id,
                     round_number=next_round,
-                    members=tuple(self.local_members()),
+                    members=self.local_members(),
                     state_snapshot=self.kv.snapshot(),
                     system_view={cid: tuple(sorted(m)) for cid, m in self.view.items()},
                     leader=self.leader,

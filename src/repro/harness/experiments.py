@@ -220,6 +220,10 @@ def run_e2(
             "execution_ms": row.stages["stage3"] * 1000,
             "read_latency_ms": row.latency_read * 1000,
             "write_latency_ms": row.latency_write * 1000,
+            # Mean per-link wire latency; self-deliveries are excluded from
+            # the aggregate by construction (0 ms loop-back never touches
+            # the latency model), so this isolates the geo component.
+            "link_latency_ms": (row.network or {}).get("link_latency_mean_ms", 0.0),
         }
         for row in _run_all(scenarios, workers)
     ]

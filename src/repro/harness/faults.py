@@ -87,12 +87,12 @@ class FaultInjector:
                 return None  # clients and not-yet-joined replicas sit outside
             return replica.cluster_id
 
-        def rule(envelope) -> bool:
-            sender_side = cluster_side(envelope.sender)
+        def rule(sender, destination, payload) -> bool:
+            sender_side = cluster_side(sender)
             if sender_side == cluster_a:
-                return cluster_side(envelope.destination) == cluster_b
+                return cluster_side(destination) == cluster_b
             if sender_side == cluster_b:
-                return cluster_side(envelope.destination) == cluster_a
+                return cluster_side(destination) == cluster_a
             return False
 
         def _install() -> None:

@@ -28,6 +28,10 @@ class ResultRow:
     ``series`` are filled only when the scenario asked for them
     (``collect_stages`` / ``timeseries_bucket``); ``labels`` carries the
     scenario's free-form tags (sweep coordinates, variant names, ...).
+    ``network`` is the run's :meth:`NetworkStats.snapshot` plus the mean
+    wire link latency in milliseconds (``link_latency_mean_ms``, which
+    excludes 0 ms self-deliveries by construction — they never traverse the
+    latency model).
     """
 
     scenario: str
@@ -48,6 +52,7 @@ class ResultRow:
     labels: Dict[str, object] = field(default_factory=dict)
     stages: Optional[Dict[str, float]] = None
     series: Optional[List[List[float]]] = None
+    network: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-serializable description of this row (covers every field)."""
@@ -98,6 +103,10 @@ def run_scenario(spec: ScenarioSpec) -> ResultRow:
         labels=dict(spec.labels),
         stages=metrics.stage_breakdown() if spec.collect_stages else None,
         series=series,
+        network={
+            **deployment.network.stats.snapshot(),
+            "link_latency_mean_ms": deployment.network.stats.mean_link_latency() * 1000.0,
+        },
     )
 
 

@@ -28,8 +28,12 @@ from repro.errors import CryptoError
 #: so a simple entry bound replaces the old byte-based accounting.
 _TOKEN_CACHE_MAX_ENTRIES = 1 << 20
 
+#: Sentinel marking a registry-minted signature whose token has not been
+#: derived yet (see :class:`Signature` — most tokens are never read).
+_LAZY = object()
 
-def _token(secret_key: bytes, digest_hash: int) -> int:
+
+def _token(proto: "hashlib._Hash", digest_hash: int) -> int:
     """Keyed token binding a signer's secret to a message digest.
 
     A keyed blake2b over the *string hash* of the digest (not its bytes):
@@ -41,13 +45,15 @@ def _token(secret_key: bytes, digest_hash: int) -> int:
     unforgeability contract: a token does not reveal anything a Byzantine
     component could use to mint tokens for other digests (unlike a plain
     ``hash ^ secret`` mix, which is invertible).
+
+    ``proto`` is the signer's precomputed keyed hasher prototype: ``copy()``
+    of a keyed blake2b skips the key schedule, which dominates an 8-byte
+    MAC (most signs are cache misses — vote digests are unique — so this
+    runs once per signature in a simulation).
     """
-    return int.from_bytes(
-        hashlib.blake2b(
-            digest_hash.to_bytes(8, "little", signed=True), key=secret_key, digest_size=8
-        ).digest(),
-        "little",
-    )
+    mac = proto.copy()
+    mac.update(digest_hash.to_bytes(8, "little", signed=True))
+    return int.from_bytes(mac.digest(), "little")
 
 
 class Signature:
@@ -58,14 +64,47 @@ class Signature:
     slotted class rather than a frozen dataclass: one is allocated per
     signed message, and the frozen-dataclass ``__init__`` (one
     ``object.__setattr__`` per field) is several times slower.
+
+    ``verified_by`` memoises a *positive* verification verdict on the object
+    itself — it holds the registry that minted or first verified the
+    signature.  Signatures travel the simulation by reference, never by
+    serialization, so a registry-minted signature answers every later
+    :meth:`KeyRegistry.verify` from the same registry with one identity
+    check instead of re-deriving the token.  Scoping the memo to the
+    registry keeps cross-trust-domain checks honest (a second registry whose
+    secrets never produced the signature still runs the full check).  This
+    preserves the unforgeability contract for the code paths that model
+    Byzantine behaviour: forgeries are created through
+    :meth:`KeyRegistry.forge`, which leaves the memo unset, and a
+    fabricated ``Signature`` cannot carry a matching token anyway.  (A
+    component that sets ``verified_by`` by hand is outside the model,
+    exactly like one reading another replica's secret.)
+
+    Tokens are derived *lazily*: in an honest run a registry-minted
+    signature is verified via the ``verified_by`` memo and its token is
+    never read, so :meth:`KeyRegistry.sign` skips the MAC entirely and the
+    token materialises only when something actually compares it (a
+    cross-registry check, a certificate replacing a signer's entry, a
+    ``repr``).  The derivation goes through the minting registry, so the
+    value is identical to an eagerly computed token.
     """
 
-    __slots__ = ("signer", "digest", "token")
+    __slots__ = ("signer", "digest", "_token", "verified_by")
 
-    def __init__(self, signer: str, digest: str, token: object) -> None:
+    def __init__(
+        self, signer: str, digest: str, token: object, verified_by: object = None
+    ) -> None:
         self.signer = signer
         self.digest = digest
-        self.token = token
+        self._token = token
+        self.verified_by = verified_by
+
+    @property
+    def token(self) -> object:
+        token = self._token
+        if token is _LAZY:
+            token = self._token = self.verified_by._derive_token(self.signer, self.digest)
+        return token
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Signature):
@@ -142,8 +181,9 @@ class KeyRegistry:
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._secrets: Dict[str, str] = {}
-        # Per-signer MAC key bytes, precomputed at registration.
-        self._secret_keys: Dict[str, bytes] = {}
+        # Per-signer keyed-hasher prototypes, precomputed at registration
+        # (copying a keyed blake2b skips the key schedule on every token).
+        self._secret_keys: Dict[str, "hashlib._Hash"] = {}
         # Memo of correct tokens, nested signer -> digest string hash ->
         # token (nested so the per-call lookup allocates no key tuple).
         # Secrets are write-once, so entries never go stale; signing fills
@@ -161,7 +201,9 @@ class KeyRegistry:
                 f"{self._seed}:{process_id}".encode("utf-8")
             ).hexdigest()
             self._secrets[process_id] = secret
-            self._secret_keys[process_id] = secret.encode("utf-8")[:64]
+            self._secret_keys[process_id] = hashlib.blake2b(
+                key=secret.encode("utf-8")[:64], digest_size=8
+            )
 
     def knows(self, process_id: str) -> bool:
         """Whether the process has registered keys."""
@@ -171,11 +213,27 @@ class KeyRegistry:
     # Signing and verification
     # ------------------------------------------------------------------ #
     def sign(self, signer: str, digest: str) -> Signature:
-        """Sign ``digest`` on behalf of ``signer``."""
-        secret_key = self._secret_keys.get(signer)
-        if secret_key is None:
+        """Sign ``digest`` on behalf of ``signer``.
+
+        Allocation-only on the hot path: the signature is born with the
+        ``verified_by`` memo set and a lazy token (see :class:`Signature`),
+        so signing costs one slotted object and the MAC is deferred until —
+        usually never — something reads the token.
+        """
+        if signer not in self._secret_keys:
             raise CryptoError(f"unknown signer {signer!r}")
-        # Token memo inlined (sign/verify are per-message hot paths).
+        signature = Signature.__new__(Signature)
+        signature.signer = signer
+        signature.digest = digest
+        signature._token = _LAZY
+        signature.verified_by = self
+        return signature
+
+    def _derive_token(self, signer: str, digest: str) -> int:
+        """Compute (and memoise) the token for a signer/digest pair."""
+        proto = self._secret_keys.get(signer)
+        if proto is None:
+            raise CryptoError(f"unknown signer {signer!r}")
         by_signer = self._token_cache.get(signer)
         if by_signer is None:
             by_signer = self._token_cache[signer] = {}
@@ -184,25 +242,25 @@ class KeyRegistry:
         if token is None:
             if len(by_signer) >= _TOKEN_CACHE_MAX_ENTRIES:
                 by_signer.clear()
-            token = by_signer[digest_hash] = _token(secret_key, digest_hash)
-        return Signature(signer=signer, digest=digest, token=token)
+            token = by_signer[digest_hash] = _token(proto, digest_hash)
+        return token
 
     def verify(self, signature: Signature) -> bool:
-        """Check that a signature was produced with the signer's secret."""
-        signer = signature.signer
-        secret_key = self._secret_keys.get(signer)
-        if secret_key is None:
+        """Check that a signature was produced with the signer's secret.
+
+        Signatures minted by — or previously verified against — *this*
+        registry answer from the ``verified_by`` memo (see
+        :class:`Signature`); only first-time or forged signatures derive
+        and compare the token.
+        """
+        if signature.verified_by is self:
+            return True
+        if signature.signer not in self._secret_keys:
             return False
-        by_signer = self._token_cache.get(signer)
-        if by_signer is None:
-            by_signer = self._token_cache[signer] = {}
-        digest_hash = hash(signature.digest)
-        token = by_signer.get(digest_hash)
-        if token is None:
-            if len(by_signer) >= _TOKEN_CACHE_MAX_ENTRIES:
-                by_signer.clear()
-            token = by_signer[digest_hash] = _token(secret_key, digest_hash)
-        return signature.token == token
+        if signature.token == self._derive_token(signature.signer, signature.digest):
+            signature.verified_by = self
+            return True
+        return False
 
     def forge(self, signer: str, digest: str) -> Signature:
         """Produce an *invalid* signature claiming to be from ``signer``.

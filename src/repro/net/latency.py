@@ -123,8 +123,6 @@ class LatencyModel:
         self._jitter_fraction = params.jitter_fraction
         self._bandwidth = params.bandwidth_bytes_per_sec
         self._per_message_overhead = params.per_message_overhead
-        self._self_base = params.intra_region_latency
-        self._self_spread = params.intra_region_latency * params.jitter_fraction
 
     # ------------------------------------------------------------------ #
     # Topology
@@ -179,25 +177,6 @@ class LatencyModel:
         if base == 0:
             latency = transfer  # jitter(0, f) draws nothing and returns 0.0
         else:
-            latency = base + ((spread + spread) * self._random() - spread) + transfer
-        per_message_overhead = self._per_message_overhead
-        if latency < per_message_overhead:
-            latency = per_message_overhead
-        return latency + per_message_overhead
-
-    def self_delivery_latency(self, size_bytes: int = 0) -> float:
-        """One-way latency for a self-addressed message (sender == receiver).
-
-        The hop is same-region by construction, so the pair resolution is
-        skipped entirely; draw and arithmetic are identical to
-        :meth:`one_way_latency` for an intra-region hop.
-        """
-        base = self._self_base
-        transfer = size_bytes / self._bandwidth if size_bytes else 0.0
-        if base == 0:
-            latency = transfer
-        else:
-            spread = self._self_spread
             latency = base + ((spread + spread) * self._random() - spread) + transfer
         per_message_overhead = self._per_message_overhead
         if latency < per_message_overhead:

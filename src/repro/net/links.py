@@ -35,8 +35,18 @@ class AuthenticatedPerfectLink:
         return self.network.registry.sign(self.owner, payload.digest())
 
     def send(self, destination: str, payload: Message) -> None:
-        """Sign and send ``payload`` to ``destination``."""
+        """Sign and send ``payload`` to ``destination``.
+
+        A self-addressed send skips the signature entirely: it takes the
+        0 ms loop-back, which never verifies, and a process trusts its own
+        payloads.  (Broadcasts still sign once for the whole group — group
+        protocols such as the remote leader change read the envelope
+        signature of their *own* loop-back copy.)
+        """
         network = self.network
+        if destination == self.owner:
+            network.send(self.owner, destination, payload, None)
+            return
         network.send(
             self.owner,
             destination,
@@ -74,13 +84,18 @@ class AuthenticatedBestEffortBroadcast:
         self._group = group
         self.include_self = include_self
 
-    def members(self) -> list[str]:
-        """Current broadcast group."""
-        members = list(self._group())
+    def members(self) -> Sequence[str]:
+        """Current broadcast group.
+
+        The group callable usually satisfies the ``members_fn`` contract
+        (a sorted tuple the supplier caches); when no adjustment is needed
+        it is passed through without copying.
+        """
+        members = self._group()
         if not self.include_self:
-            members = [m for m in members if m != self.owner]
-        elif self.owner not in members:
-            members = members + [self.owner]
+            return [m for m in members if m != self.owner]
+        if self.owner not in members:
+            return (*members, self.owner)
         return members
 
     def broadcast(self, payload: Message) -> None:

@@ -153,28 +153,47 @@ class Message:
         return digest
 
 
-@dataclass(slots=True)
 class Envelope:
-    """A routed message: payload plus transport metadata.
+    """The immutable transport header of one routed message.
 
-    Slotted: the network allocates one per (message, destination) pair, which
-    makes envelopes the most-allocated object in any run after events.
+    One envelope is allocated per *message*, not per destination: a multicast
+    fan-out shares a single header across every copy (the sender, payload,
+    signature, send time, size, and precomputed receiver cost are identical
+    for all destinations; the destination itself lives in the delivery
+    pipeline's per-port schedule, never on the envelope).  This killed the
+    largest remaining allocation site after events — the old per-destination
+    dataclass init.
+
+    Slots-only with a plain positional constructor (no dataclass machinery):
+    envelopes are treated as immutable once handed to the network.
     """
 
-    sender: str
-    destination: str
-    payload: Message
-    signature: Optional[Any] = None
-    sent_at: float = 0.0
-    size_bytes: int = 0
-    #: Receiver-side CPU time, precomputed once per *message* at dispatch
-    #: (it depends only on the payload and the network config) instead of
-    #: once per delivery.
-    processing: float = 0.0
+    __slots__ = ("sender", "payload", "signature", "sent_at", "size_bytes", "processing")
+
+    def __init__(
+        self,
+        sender: str,
+        payload: Message,
+        signature: Optional[Any] = None,
+        sent_at: float = 0.0,
+        size_bytes: int = 0,
+        processing: float = 0.0,
+    ) -> None:
+        self.sender = sender
+        self.payload = payload
+        self.signature = signature
+        self.sent_at = sent_at
+        self.size_bytes = size_bytes
+        #: Receiver-side CPU time, precomputed once per message at dispatch
+        #: (it depends only on the payload and the network config).
+        self.processing = processing
 
     def type_name(self) -> str:
         """Type name of the wrapped payload."""
         return self.payload.type_name()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Envelope from={self.sender!r} {self.payload.type_name()}>"
 
 
 __all__ = ["Envelope", "Message", "payload_digest"]

@@ -1,13 +1,14 @@
-"""The simulated network: routing, latency, CPU queues, and fault injection.
+"""The simulated network: a single-pass message-delivery pipeline.
 
 The network routes :class:`~repro.net.message.Envelope` objects between
-registered processes.  Delivery time is the sum of
+registered processes.  For a message that crosses the wire, the delivery
+time is the sum of
 
 * a sender-side serialization stagger (per destination),
 * the geo latency from the :class:`~repro.net.latency.LatencyModel`
   (including a bandwidth term proportional to message size), and
-* receiver-side processing time, served from a per-process CPU queue whose
-  cost grows with the number of signatures the message carries.
+* receiver-side processing time, served from a per-process serial CPU queue
+  whose cost grows with the number of signatures the message carries.
 
 The CPU queue is what makes protocol *message complexity* visible in
 simulated throughput: a PBFT-style all-to-all phase loads every replica with
@@ -15,9 +16,43 @@ O(n) verifications per decision, while a HotStuff-style linear phase loads
 only the leader.  This mirrors the throughput gap the paper observes between
 AVA-BFTSMART and AVA-HOTSTUFF.
 
+Fused scheduling
+----------------
+All three legs of a wire delivery are computed in one pass at *send* time by
+the :class:`DeliveryPipeline`: the sender's departure stagger, the link
+latency draw, and the receiver's CPU hand-over slot.  Each scheduled message
+therefore costs exactly **one** kernel event, fired at its hand-over time —
+the old ``net:deliver`` → ``net:cpu`` event chain (two kernel events per
+message, the structural floor of every macro run) is gone.
+
+This is possible because the receiver's CPU queue is deterministic: per
+destination, hand-over times are assigned monotonically in *send-schedule
+order* (``finish = max(arrival, recv_free) + processing``), so the queue
+degenerates to a watermark plus a FIFO of envelopes whose pop order equals
+the kernel's fire order.  The FIFO discipline is per-destination
+send-schedule order; with jitter two messages can arrive out of that order,
+in which case the earlier-scheduled message is served first (the inversion
+is bounded by the jitter scale).  Send serialization and receive processing
+are modelled as two overlapping per-process resources (see :class:`_Port`
+for why the fused design cannot share one watermark between them).
+
+Loop-back
+---------
+Self-addressed messages (``abeb`` includes the sender) take a true 0 ms
+loop-back: they skip the latency model (no jitter draw), the drop rules, and
+the signature verification, and are handed over as simulator *microtasks* at
+the same virtual instant — zero kernel events.  Handling one's own message
+still occupies the receiver CPU for the base processing cost (no
+verification charge — a process trusts its own signatures), so loop-back
+does not hand protocols with all-to-all local phases a free 1/n of their
+processing load.  Loop-backs are accounted separately from wire traffic
+(``loopback_messages``).
+
 Fault injection supports crash-stop processes, directed message filters
 (used to model partitions and Byzantine message dropping), and statistics
-used by the complexity analyses.
+used by the complexity analyses.  Drop rules see ``(sender, destination,
+payload)``: envelopes no longer carry a destination (they are shared across
+a whole fan-out), and rules run at send time, before an event is scheduled.
 """
 
 from __future__ import annotations
@@ -26,7 +61,7 @@ from collections import Counter, deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from heapq import heappush
+from heapq import heapify, heappush
 
 from repro.errors import NetworkError
 from repro.net.crypto import KeyRegistry, Signature
@@ -36,8 +71,10 @@ from repro.sim.events import Event
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
 
-#: A drop rule: returns True when the envelope must be dropped.
-DropRule = Callable[[Envelope], bool]
+#: A drop rule: returns True when the message must be dropped.  Evaluated at
+#: send time, once per (message, destination) pair, for wire traffic only —
+#: loop-back (self-addressed) messages never traverse drop rules.
+DropRule = Callable[[str, str, Message], bool]
 
 
 @dataclass
@@ -64,13 +101,34 @@ class NetworkConfig:
 
 @dataclass
 class NetworkStats:
-    """Counters describing all traffic that crossed the network."""
+    """Counters describing all traffic that crossed the network.
+
+    ``messages_sent`` / ``messages_delivered`` / ``bytes_sent`` count *wire*
+    traffic only.  Self-addressed messages never reach the wire: delivered
+    loop-backs are counted in ``loopback_messages`` instead (dropped ones —
+    the sender crashed within the same instant — still count as dropped).
+    ``by_type`` is a census of every send, loop-back included.
+
+    ``link_latency_sum`` / ``link_latency_count`` aggregate the latency-model
+    draw of every *scheduled* wire message; loop-backs are excluded by
+    construction, so per-link latency analyses (E2) are not diluted by 0 ms
+    self-deliveries.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
+    loopback_messages: int = 0
+    link_latency_sum: float = 0.0
+    link_latency_count: int = 0
     by_type: Counter = field(default_factory=Counter)
+
+    def mean_link_latency(self) -> float:
+        """Mean latency-model delay (seconds) over scheduled wire messages."""
+        if not self.link_latency_count:
+            return 0.0
+        return self.link_latency_sum / self.link_latency_count
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict snapshot of the scalar counters."""
@@ -79,11 +137,464 @@ class NetworkStats:
             "messages_delivered": self.messages_delivered,
             "messages_dropped": self.messages_dropped,
             "bytes_sent": self.bytes_sent,
+            "loopback_messages": self.loopback_messages,
         }
 
 
+class _Port:
+    """Per-registered-process delivery state owned by the pipeline.
+
+    Attributes:
+        process: The registered process object.
+        registered: Cleared on deregistration so in-flight hand-overs drop
+            (a later re-registration creates a fresh port).
+        send_free: Send-serialization watermark (virtual time the process's
+            outgoing link engine is next free).
+        recv_free: Receive-CPU watermark (virtual time the CPU finishes its
+            last accepted message; loop-back handling charges here too).
+        queue: FIFO of envelopes awaiting hand-over, in the same order as
+            their scheduled kernel events fire (hand-over times are assigned
+            monotonically per port, ties broken by kernel sequence).
+        loop_queue: FIFO of self-addressed envelopes awaiting their 0 ms
+            microtask hand-over.
+
+    The send and receive watermarks are deliberately independent resources —
+    a serialization/NIC engine and a processing CPU.  The pre-fusion model
+    shared one watermark, so a replica's sends queued behind receive work
+    that had *arrived* by the send time; the fused pipeline assigns receive
+    slots at schedule time (before arrival), where a shared watermark would
+    make sends queue behind work still in flight on the wire — measurably
+    wrong (it serialises whole rounds behind the link latency).  Exact
+    arrived-by-now coupling is precisely the arrival-time event the fusion
+    removes, so the pipeline models the two directions as overlapping
+    resources instead; this is part of the sanctioned semantic change this
+    refactor re-pinned the goldens for.
+    """
+
+    __slots__ = ("process", "registered", "send_free", "recv_free", "queue", "loop_queue")
+
+    def __init__(self, process: Process) -> None:
+        self.process = process
+        self.registered = True
+        self.send_free = 0.0
+        self.recv_free = 0.0
+        self.queue: deque = deque()
+        self.loop_queue: deque = deque()
+
+
+class DeliveryPipeline:
+    """Owns the fused delivery schedule: ports, drop rules, and stats.
+
+    One pipeline serves one :class:`Network`.  ``send`` and ``multicast``
+    compute the whole delivery — departure, link latency, CPU hand-over —
+    in a single pass and schedule exactly one kernel event per wire message
+    (zero for loop-backs, which ride the simulator's microtask queue).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency_model: LatencyModel,
+        registry: KeyRegistry,
+        config: NetworkConfig,
+    ) -> None:
+        self.simulator = simulator
+        self.latency_model = latency_model
+        self.registry = registry
+        self.config = config
+        self.stats = NetworkStats()
+        # Config constants are read on every send; they are fixed for the
+        # lifetime of a network, so bind them once instead of paying
+        # dataclass attribute reads per message.
+        self._cpu_model = config.cpu_model
+        self._send_overhead = config.send_overhead
+        self._base_processing = config.base_processing
+        self._signature_verify_cost = config.signature_verify_cost
+        self._verify_envelopes = config.verify_envelopes
+        #: The simulator's event queue and microtask deque, held directly:
+        #: delivery events are the most-scheduled events in any run, so they
+        #: are pushed without the per-call scheduling wrapper (hand-over
+        #: times are >= now by construction, so the wrapper's guard adds
+        #: nothing).
+        self._equeue = simulator._queue
+        self._micro = simulator._microtasks
+        #: The latency model's (base, spread) pair memo, its raw uniform
+        #: draw, and its constants, bound here so the per-message latency is
+        #: computed inline (the warm path of ``one_way_latency``, one call
+        #: frame per wire message otherwise).  ``place``/``set_rtt`` clear
+        #: the memo *in place*, so the alias stays valid; misses fall back
+        #: to the model, which fills the memo.  The arithmetic below must
+        #: stay bit-identical to :meth:`LatencyModel.one_way_latency`.
+        self._pair_base = latency_model._pair_base
+        self._lat_random = latency_model._random
+        self._lat_bandwidth = latency_model._bandwidth
+        self._lat_overhead = latency_model._per_message_overhead
+        self.ports: Dict[str, _Port] = {}
+        self.drop_rules: List[DropRule] = []
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+    def register(self, process: Process) -> _Port:
+        """Create (or re-create) the delivery port for a process."""
+        port = self.ports.get(process.process_id)
+        if port is not None and port.process is process:
+            return port
+        if port is not None:
+            port.registered = False  # in-flight hand-overs to the old port drop
+        port = self.ports[process.process_id] = _Port(process)
+        return port
+
+    def deregister(self, process_id: str) -> None:
+        """Remove a port; in-flight and subsequent messages to it drop."""
+        port = self.ports.pop(process_id, None)
+        if port is not None:
+            port.registered = False
+
+    # ------------------------------------------------------------------ #
+    # Sending
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        sender: str,
+        destination: str,
+        payload: Message,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        """Send a single message from ``sender`` to ``destination``.
+
+        Point-to-point sends outnumber multicasts roughly five to one in the
+        protocols (votes, client requests/responses, inter-cluster targets),
+        so the single-destination case is laid out straight-line here instead
+        of going through the generic fan-out loop.  The arithmetic and
+        side-effect order mirror :meth:`multicast` exactly.
+        """
+        ports = self.ports
+        port = ports.get(sender)
+        if port is None:
+            raise NetworkError(f"unknown sender {sender!r}")
+        if port.process.crashed:
+            return
+        now = self.simulator.now
+        size = payload.cached_size()
+        stats = self.stats
+        stats.by_type[type(payload).__name__] += 1
+        if destination == sender:
+            # True 0 ms loop-back: no latency draw, no drop rules, no
+            # verification, no kernel event.  Handling one's own message
+            # still occupies the CPU (base cost only — a process does not
+            # re-verify its own signatures), so the receive watermark
+            # advances and subsequent wire hand-overs queue behind it;
+            # without this, protocols with O(n^2) local phases would get
+            # 1/n of their processing load for free.
+            if self._cpu_model:
+                free = port.recv_free
+                if free < now:
+                    free = now
+                port.recv_free = free + self._base_processing
+            port.loop_queue.append(Envelope(sender, payload, signature, now, size, 0.0))
+            self._micro.append((self._fire_loopback, port))
+            return
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        if self._cpu_model:
+            departure = port.send_free
+            if departure < now:
+                departure = now
+            departure += self._send_overhead
+            port.send_free = departure
+            processing = (
+                self._base_processing
+                + payload.verification_cost() * self._signature_verify_cost
+            )
+        else:
+            departure = now
+            processing = 0.0
+        if self.drop_rules and self._should_drop(sender, destination, payload):
+            stats.messages_dropped += 1
+            return
+        target_port = ports.get(destination)
+        if target_port is None:
+            stats.messages_dropped += 1
+            return
+        # Authenticated-link check, once per message at schedule time:
+        # verification is time-independent (a token either matches the
+        # signer's secret or it never will), so checking here instead of at
+        # hand-over costs the same for point-to-point traffic, removes one
+        # call per delivery from the hot path, and restores the invariant
+        # that a forged message never occupies the receiver's CPU queue.
+        # The minted-by-this-registry memo is checked inline; only unknown
+        # signatures pay the ``verify`` call.
+        if (
+            signature is not None
+            and self._verify_envelopes
+            and signature.verified_by is not self.registry
+            and not self.registry.verify(signature)
+        ):
+            stats.messages_dropped += 1
+            return
+        # Inline of the latency model's warm path (see the alias note in
+        # __init__); the cold path resolves regions and fills the memo.
+        by_src = self._pair_base.get(sender)
+        pair = None if by_src is None else by_src.get(destination)
+        if pair is None:
+            latency = self.latency_model.one_way_latency(sender, destination, size)
+        else:
+            base, spread = pair
+            transfer = size / self._lat_bandwidth if size else 0.0
+            if base == 0:
+                latency = transfer  # jitter(0, f) draws nothing and returns 0.0
+            else:
+                latency = base + ((spread + spread) * self._lat_random() - spread) + transfer
+            overhead = self._lat_overhead
+            if latency < overhead:
+                latency = overhead
+            latency = latency + overhead
+        stats.link_latency_sum += latency
+        stats.link_latency_count += 1
+        envelope = Envelope(sender, payload, signature, now, size, processing)
+        queue = self._equeue
+        sequence = queue._sequence
+        queue._sequence = sequence + 1
+        queue._live += 1
+        if self._cpu_model:
+            # Fused hand-over: the receiver's CPU slot is assigned now, so
+            # the one kernel event fires at the finish time directly.
+            finish = target_port.recv_free
+            arrival = departure + latency
+            if finish < arrival:
+                finish = arrival
+            finish += processing
+            target_port.recv_free = finish
+            target_port.queue.append(envelope)
+            heappush(
+                queue._heap,
+                Event((finish, 0, sequence, self._fire_port, target_port, False, "net:msg")),
+            )
+        else:
+            heappush(
+                queue._heap,
+                Event(
+                    (
+                        departure + latency,
+                        0,
+                        sequence,
+                        self._fire_pair,
+                        (target_port, envelope),
+                        False,
+                        "net:msg",
+                    )
+                ),
+            )
+
+    def multicast(
+        self,
+        sender: str,
+        destinations: Sequence[str],
+        payload: Message,
+        signature: Optional[Signature] = None,
+    ) -> None:
+        """Send one message to many destinations with sender-side staggering.
+
+        This loop runs once per (message, destination) pair — the hottest
+        code in any simulation after the event loop itself.  One immutable
+        :class:`Envelope` header is shared across the whole fan-out, and the
+        near-sorted hand-over events are bulk-inserted (heapify-amortised
+        for large batches).  Self-addressed copies take the 0 ms loop-back
+        and pay no serialization stagger.
+        """
+        ports = self.ports
+        port = ports.get(sender)
+        if port is None:
+            raise NetworkError(f"unknown sender {sender!r}")
+        if port.process.crashed:
+            return
+        now = self.simulator.now
+        size = payload.cached_size()
+        stats = self.stats
+        stats.by_type[type(payload).__name__] += len(destinations)
+        drop_rules = self.drop_rules
+        cpu_model = self._cpu_model
+        if cpu_model:
+            send_cost = self._send_overhead
+            departure = port.send_free
+            if departure < now:
+                departure = now
+            processing = (
+                self._base_processing
+                + payload.verification_cost() * self._signature_verify_cost
+            )
+        else:
+            send_cost = 0.0
+            departure = now
+            processing = 0.0
+        envelope = Envelope(sender, payload, signature, now, size, processing)
+        # Authenticated-link check, once per *message* rather than once per
+        # destination (the token either matches the signer's secret or never
+        # will; see the matching comment in :meth:`send`).
+        forged = (
+            signature is not None
+            and self._verify_envelopes
+            and signature.verified_by is not self.registry
+            and not self.registry.verify(signature)
+        )
+        one_way_latency = self.latency_model.one_way_latency
+        pair_base = self._pair_base
+        lat_random = self._lat_random
+        lat_bandwidth = self._lat_bandwidth
+        lat_overhead = self._lat_overhead
+        fire_port = self._fire_port
+        fire_pair = self._fire_pair
+        equeue = self._equeue
+        sequence = equeue._sequence
+        sent = 0
+        dropped = 0
+        latency_sum = 0.0
+        events: List[Event] = []
+        append = events.append
+        for destination in destinations:
+            if destination == sender:
+                # Loop-back copy: 0 ms, but the base handling cost still
+                # occupies the receive CPU (see the note in ``send``).
+                if cpu_model:
+                    free = port.recv_free
+                    if free < now:
+                        free = now
+                    port.recv_free = free + self._base_processing
+                port.loop_queue.append(envelope)
+                self._micro.append((self._fire_loopback, port))
+                continue
+            sent += 1
+            departure += send_cost
+            if forged:
+                dropped += 1
+                continue
+            if drop_rules and self._should_drop(sender, destination, payload):
+                dropped += 1
+                continue
+            target_port = ports.get(destination)
+            if target_port is None:
+                dropped += 1
+                continue
+            # Inline of the latency model's warm path (see __init__).
+            by_src = pair_base.get(sender)
+            pair = None if by_src is None else by_src.get(destination)
+            if pair is None:
+                latency = one_way_latency(sender, destination, size)
+            else:
+                base, spread = pair
+                transfer = size / lat_bandwidth if size else 0.0
+                if base == 0:
+                    latency = transfer
+                else:
+                    latency = base + ((spread + spread) * lat_random() - spread) + transfer
+                if latency < lat_overhead:
+                    latency = lat_overhead
+                latency = latency + lat_overhead
+            latency_sum += latency
+            if cpu_model:
+                finish = target_port.recv_free
+                arrival = departure + latency
+                if finish < arrival:
+                    finish = arrival
+                finish += processing
+                target_port.recv_free = finish
+                target_port.queue.append(envelope)
+                append(Event((finish, 0, sequence, fire_port, target_port, False, "net:msg")))
+            else:
+                append(
+                    Event(
+                        (
+                            departure + latency,
+                            0,
+                            sequence,
+                            fire_pair,
+                            (target_port, envelope),
+                            False,
+                            "net:msg",
+                        )
+                    )
+                )
+            sequence += 1
+        stats.messages_sent += sent
+        stats.bytes_sent += size * sent
+        stats.link_latency_sum += latency_sum
+        stats.link_latency_count += len(events)
+        if dropped:
+            stats.messages_dropped += dropped
+        if events:
+            equeue._sequence = sequence
+            equeue._live += len(events)
+            heap = equeue._heap
+            if len(events) * 8 >= len(heap):
+                heap.extend(events)
+                heapify(heap)
+            else:
+                for event in events:
+                    heappush(heap, event)
+        if cpu_model:
+            port.send_free = departure
+
+    def _should_drop(self, sender: str, destination: str, payload: Message) -> bool:
+        return any(rule(sender, destination, payload) for rule in self.drop_rules)
+
+    # ------------------------------------------------------------------ #
+    # Delivery (one callback per delivered message)
+    # ------------------------------------------------------------------ #
+    def _fire_port(self, port: _Port) -> None:
+        """Hand over the head of a port's FIFO; fires at its hand-over time.
+
+        Pop order equals kernel fire order because hand-over times are
+        assigned monotonically per port at schedule time (ties broken by the
+        kernel's sequence numbers, which are assigned in the same order as
+        the queue appends).
+        """
+        envelope = port.queue.popleft()
+        process = port.process
+        if process.crashed or not port.registered:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        process.on_message(envelope.sender, envelope)
+
+    def _fire_pair(self, pair) -> None:
+        """Delivery without the CPU model (``cpu_model=False`` test configs).
+
+        Arrival times across senders are not monotone per port, so the
+        envelope rides the event itself instead of the port FIFO.
+        """
+        port, envelope = pair
+        process = port.process
+        if process.crashed or not port.registered:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        process.on_message(envelope.sender, envelope)
+
+    def _fire_loopback(self, port: _Port) -> None:
+        """0 ms hand-over of a self-addressed message (microtask).
+
+        No verification: a process trusts its own signature.  The sender may
+        have crashed between the send and this microtask (both happen at the
+        same virtual instant), in which case the message drops like any
+        delivery to a crashed process.
+        """
+        envelope = port.loop_queue.popleft()
+        process = port.process
+        if process.crashed or not port.registered:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.loopback_messages += 1
+        process.on_message(envelope.sender, envelope)
+
+
 class Network:
-    """Routes envelopes between processes over the simulated topology.
+    """Routes messages between processes over the simulated topology.
+
+    Thin façade over the :class:`DeliveryPipeline`, which owns the drop
+    rules, the per-destination FIFO CPU queues, and the statistics.  Kept as
+    the public entry point so membership, fault injection, and the sending
+    API live in one place.
 
     Args:
         simulator: The simulation kernel.
@@ -103,85 +614,70 @@ class Network:
         self.latency_model = latency_model
         self.registry = registry
         self.config = config or NetworkConfig()
-        # Config constants are read on every send and delivery; they are
-        # fixed for the lifetime of a network, so bind them once instead of
-        # paying four dataclass attribute reads per message.
-        self._cpu_model = self.config.cpu_model
-        self._send_overhead = self.config.send_overhead
-        self._base_processing = self.config.base_processing
-        self._signature_verify_cost = self.config.signature_verify_cost
-        self._verify_envelopes = self.config.verify_envelopes
-        self.stats = NetworkStats()
-        #: The simulator's event queue, held directly: delivery and CPU-drain
-        #: events are the two most-scheduled events in any run, so they are
-        #: pushed without the per-call scheduling wrapper (times here are
-        #: always >= now by construction, so the wrapper's guard adds nothing).
-        self._equeue = simulator._queue
-        self._processes: Dict[str, Process] = {}
-        self._cpu_free: Dict[str, float] = {}
-        #: Per-destination FIFO of (finish_time, envelope) hand-overs awaiting
-        #: the resident drain event (at most one pending drain per destination).
-        self._cpu_queues: Dict[str, deque] = {}
-        self._drop_rules: List[DropRule] = []
+        self.pipeline = DeliveryPipeline(simulator, latency_model, registry, self.config)
+        self.stats = self.pipeline.stats
 
     # ------------------------------------------------------------------ #
     # Membership
     # ------------------------------------------------------------------ #
     def register(self, process: Process, region: str = "us-west1") -> None:
         """Attach a process to the network and place it in a region."""
-        self._processes[process.process_id] = process
+        self.pipeline.register(process)
         self.latency_model.place(process.process_id, region)
         self.registry.register(process.process_id)
-        self._cpu_free.setdefault(process.process_id, 0.0)
         process.attach(self)
 
     def deregister(self, process_id: str) -> None:
-        """Detach a process; subsequent messages to it are dropped."""
-        self._processes.pop(process_id, None)
+        """Detach a process; in-flight and subsequent messages to it drop."""
+        self.pipeline.deregister(process_id)
 
     def process(self, process_id: str) -> Optional[Process]:
         """Look up a registered process by id."""
-        return self._processes.get(process_id)
+        port = self.pipeline.ports.get(process_id)
+        return None if port is None else port.process
 
     def known_processes(self) -> List[str]:
         """Identifiers of all registered processes."""
-        return list(self._processes)
+        return list(self.pipeline.ports)
 
     # ------------------------------------------------------------------ #
     # Fault injection
     # ------------------------------------------------------------------ #
     def add_drop_rule(self, rule: DropRule) -> DropRule:
         """Install a drop rule; returns it so callers can remove it later."""
-        self._drop_rules.append(rule)
+        self.pipeline.drop_rules.append(rule)
         return rule
 
     def remove_drop_rule(self, rule: DropRule) -> None:
         """Remove a previously installed drop rule."""
-        if rule in self._drop_rules:
-            self._drop_rules.remove(rule)
+        if rule in self.pipeline.drop_rules:
+            self.pipeline.drop_rules.remove(rule)
 
     def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> DropRule:
         """Drop all traffic between two groups of processes (both ways)."""
         set_a = set(group_a)
         set_b = set(group_b)
 
-        def rule(envelope: Envelope) -> bool:
-            return (envelope.sender in set_a and envelope.destination in set_b) or (
-                envelope.sender in set_b and envelope.destination in set_a
+        def rule(sender: str, destination: str, payload: Message) -> bool:
+            return (sender in set_a and destination in set_b) or (
+                sender in set_b and destination in set_a
             )
 
         return self.add_drop_rule(rule)
 
     def isolate(self, process_id: str) -> DropRule:
-        """Drop all traffic to and from one process."""
+        """Drop all wire traffic to and from one process.
 
-        def rule(envelope: Envelope) -> bool:
-            return process_id in (envelope.sender, envelope.destination)
+        Loop-back is unaffected: a process can always talk to itself.
+        """
+
+        def rule(sender: str, destination: str, payload: Message) -> bool:
+            return process_id in (sender, destination)
 
         return self.add_drop_rule(rule)
 
     # ------------------------------------------------------------------ #
-    # Sending
+    # Sending (delegates to the pipeline)
     # ------------------------------------------------------------------ #
     def send(
         self,
@@ -190,59 +686,8 @@ class Network:
         payload: Message,
         signature: Optional[Signature] = None,
     ) -> None:
-        """Send a single message from ``sender`` to ``destination``.
-
-        Point-to-point sends outnumber multicasts roughly five to one in the
-        protocols (votes, client requests/responses, inter-cluster targets),
-        so the single-destination case is laid out straight-line here instead
-        of going through the generic fan-out loop.  The arithmetic and
-        side-effect order mirror :meth:`_dispatch` exactly.
-        """
-        processes = self._processes
-        process = processes.get(sender)
-        if process is None:
-            raise NetworkError(f"unknown sender {sender!r}")
-        if process.crashed:
-            return
-        now = self.simulator.now
-        size = payload.cached_size()
-        stats = self.stats
-        stats.messages_sent += 1
-        stats.bytes_sent += size
-        stats.by_type[type(payload).__name__] += 1
-        if self._cpu_model:
-            cpu_free = self._cpu_free
-            departure = cpu_free.get(sender, 0.0)
-            if departure < now:
-                departure = now
-            departure += self._send_overhead
-            cpu_free[sender] = departure
-            processing = (
-                self._base_processing
-                + payload.verification_cost() * self._signature_verify_cost
-            )
-        else:
-            departure = now
-            processing = 0.0
-        envelope = Envelope(sender, destination, payload, signature, now, size, processing)
-        if self._drop_rules and self._should_drop(envelope):
-            stats.messages_dropped += 1
-            return
-        if destination not in processes:
-            stats.messages_dropped += 1
-            return
-        if destination == sender:
-            arrival = departure + self.latency_model.self_delivery_latency(size)
-        else:
-            arrival = departure + self.latency_model.one_way_latency(sender, destination, size)
-        queue = self._equeue
-        sequence = queue._sequence
-        queue._sequence = sequence + 1
-        queue._live += 1
-        heappush(
-            queue._heap,
-            Event((arrival, 0, sequence, self._deliver, envelope, False, "net:deliver")),
-        )
+        """Send a single message from ``sender`` to ``destination``."""
+        self.pipeline.send(sender, destination, payload, signature)
 
     def multicast(
         self,
@@ -252,158 +697,10 @@ class Network:
         signature: Optional[Signature] = None,
     ) -> None:
         """Send one message to many destinations with sender-side staggering."""
-        self._dispatch(sender, destinations, payload, signature)
+        self.pipeline.multicast(sender, destinations, payload, signature)
 
-    # ------------------------------------------------------------------ #
-    # Internal delivery machinery
-    # ------------------------------------------------------------------ #
-    def _dispatch(
-        self,
-        sender: str,
-        destinations: Sequence[str],
-        payload: Message,
-        signature: Optional[Signature],
-    ) -> None:
-        # This loop runs once per (message, destination) pair — the hottest
-        # code in any simulation after the event loop itself.  Per-message
-        # state (size, counters, config flags) is hoisted out of the loop,
-        # and the fan-out's near-sorted arrival events are inserted with one
-        # bulk `schedule_batch` call instead of one scheduling call per
-        # destination.  Sequence numbers are still assigned in destination
-        # order, so delivery order is identical to per-destination pushes.
-        processes = self._processes
-        if sender not in processes:
-            raise NetworkError(f"unknown sender {sender!r}")
-        if processes[sender].crashed:
-            return
-        now = self.simulator.now
-        size = payload.cached_size()
-        stats = self.stats
-        count = len(destinations)
-        stats.messages_sent += count
-        stats.bytes_sent += size * count
-        stats.by_type[type(payload).__name__] += count
-        drop_rules = self._drop_rules
-        cpu_model = self._cpu_model
-        if cpu_model:
-            send_cost = self._send_overhead
-            departure = max(now, self._cpu_free.get(sender, 0.0))
-            processing = (
-                self._base_processing
-                + payload.verification_cost() * self._signature_verify_cost
-            )
-        else:
-            send_cost = 0.0
-            departure = now
-            processing = 0.0
-        latency_model = self.latency_model
-        one_way_latency = latency_model.one_way_latency
-        self_delivery_latency = latency_model.self_delivery_latency
-        dropped = 0
-        batch: List[tuple] = []
-        append = batch.append
-        for destination in destinations:
-            departure += send_cost
-            envelope = Envelope(sender, destination, payload, signature, now, size, processing)
-            if drop_rules and self._should_drop(envelope):
-                dropped += 1
-                continue
-            if destination not in processes:
-                dropped += 1
-                continue
-            if destination == sender:
-                # Self-delivery fast path (abeb includes the sender): the hop
-                # is same-region by construction, so the latency-model region
-                # resolution is skipped.  The jitter draw and the arrival
-                # arithmetic are kept identical, and _deliver skips the
-                # signature re-verification for self-addressed envelopes.
-                append((departure + self_delivery_latency(size), envelope))
-            else:
-                append((departure + one_way_latency(sender, destination, size), envelope))
-        if dropped:
-            stats.messages_dropped += dropped
-        if len(batch) == 1:
-            self.simulator.schedule_at(batch[0][0], self._deliver, 0, "net:deliver", batch[0][1])
-        elif batch:
-            self.simulator.schedule_batch(batch, self._deliver, 0, "net:deliver")
-        if cpu_model:
-            self._cpu_free[sender] = departure
-
-    def _should_drop(self, envelope: Envelope) -> bool:
-        return any(rule(envelope) for rule in self._drop_rules)
-
-    def _deliver(self, envelope: Envelope) -> None:
-        """Arrival at the destination: fires at the envelope's arrival time."""
-        destination = envelope.destination
-        target = self._processes.get(destination)
-        if target is None or target.crashed:
-            self.stats.messages_dropped += 1
-            return
-        if (
-            self._verify_envelopes
-            and envelope.signature is not None
-            and envelope.sender != destination
-        ):
-            if not self.registry.verify(envelope.signature):
-                self.stats.messages_dropped += 1
-                return
-        if self._cpu_model:
-            arrival = self.simulator.now
-            cpu_free = self._cpu_free
-            start = cpu_free.get(destination, 0.0)
-            if start < arrival:
-                start = arrival
-            finish = start + envelope.processing
-            cpu_free[destination] = finish
-            # Resident CPU-queue drain: instead of one scheduled event per
-            # queued message, each destination keeps a FIFO of (finish,
-            # envelope) hand-overs and at most ONE pending drain event that
-            # re-arms itself.  Arrival order equals hand-over order because
-            # finish times are assigned monotonically per destination here.
-            queues = self._cpu_queues
-            queue = queues.get(destination)
-            if queue is None:
-                queue = queues[destination] = deque()
-            busy = bool(queue)  # invariant: non-empty queue == drain pending
-            queue.append((finish, envelope))
-            if not busy:
-                equeue = self._equeue
-                sequence = equeue._sequence
-                equeue._sequence = sequence + 1
-                equeue._live += 1
-                heappush(
-                    equeue._heap,
-                    Event((finish, 0, sequence, self._drain_cpu, destination, False, "net:cpu")),
-                )
-        else:
-            self.stats.messages_delivered += 1
-            target.on_message(envelope.sender, envelope)
-
-    def _drain_cpu(self, destination: str) -> None:
-        """Hand over the head of a destination's CPU queue; re-arm if busy.
-
-        Fires at the popped message's finish time.  The next drain is
-        scheduled *before* the hand-over callback runs, mirroring the old
-        one-event-per-message scheme where every hand-over event was already
-        queued ahead of anything the callback schedules.
-        """
-        queue = self._cpu_queues[destination]
-        envelope = queue.popleft()[1]
-        if queue:
-            equeue = self._equeue
-            sequence = equeue._sequence
-            equeue._sequence = sequence + 1
-            equeue._live += 1
-            heappush(
-                equeue._heap,
-                Event((queue[0][0], 0, sequence, self._drain_cpu, destination, False, "net:cpu")),
-            )
-        target = self._processes.get(destination)
-        if target is None or target.crashed:
-            self.stats.messages_dropped += 1
-            return
-        self.stats.messages_delivered += 1
-        target.on_message(envelope.sender, envelope)
+    def _should_drop(self, sender: str, destination: str, payload: Message) -> bool:
+        return self.pipeline._should_drop(sender, destination, payload)
 
 
-__all__ = ["DropRule", "Network", "NetworkConfig", "NetworkStats"]
+__all__ = ["DeliveryPipeline", "DropRule", "Network", "NetworkConfig", "NetworkStats"]

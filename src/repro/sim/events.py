@@ -27,7 +27,7 @@ from repro.errors import SimulationError
 # Layout indexes of an Event (shared with the Simulator's run loop).
 # NOTE: the raw push sequence (allocate Event, bump _sequence/_live,
 # heappush) is intentionally inlined at the hottest call sites —
-# Simulator.schedule/schedule_at and Network.send/_deliver/_drain_cpu —
+# Simulator.schedule/schedule_at and DeliveryPipeline.send/multicast —
 # so any change to this layout or to the live/cancelled accounting must
 # be mirrored there.
 TIME = 0

@@ -10,6 +10,7 @@ time and is bit-for-bit reproducible.
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
 from math import inf
 from typing import Callable, Optional
@@ -97,6 +98,14 @@ class Simulator:
         self.seed = seed
         self.rng = SeededRng(seed, "simulator")
         self._queue = EventQueue()
+        #: Zero-delay callbacks (``(callback, arg)`` pairs) that run at the
+        #: *current* virtual time, after the currently executing event and
+        #: before the next heap event.  This is what makes a true 0 ms
+        #: loop-back possible: a self-addressed message is handed over within
+        #: the same virtual instant without consuming a kernel event, yet
+        #: without re-entering the sender's call stack mid-send.  Drained
+        #: FIFO, so chains of microtasks stay deterministic.
+        self._microtasks: deque = deque()
         self._events_processed = 0
         self._running = False
         self._stopped = False
@@ -167,6 +176,17 @@ class Simulator:
         """
         self._queue.push_batch(pairs, callback, priority, label, floor=self.now)
 
+    def call_soon(self, callback: Callable[..., None], arg: object = None) -> None:
+        """Run ``callback`` at the current virtual time, after the current event.
+
+        Microtasks cost no kernel event and never advance the clock.  They
+        run before the next heap event even when that event is scheduled for
+        the same instant, and a microtask may enqueue further microtasks
+        (drained FIFO).  ``arg`` follows the same convention as
+        :meth:`schedule`: ``None`` means the callback takes no argument.
+        """
+        self._microtasks.append((callback, arg))
+
     def timer(self, duration: float, callback: Callable[[], None], name: str = "") -> Timer:
         """Create a (not yet started) :class:`Timer`."""
         return Timer(self, duration, callback, name=name)
@@ -192,8 +212,22 @@ class Simulator:
         """Request that the run loop return after the current event."""
         self._stopped = True
 
+    def _drain_microtasks(self) -> None:
+        micro = self._microtasks
+        while micro:
+            callback, arg = micro.popleft()
+            if arg is None:
+                callback()
+            else:
+                callback(arg)
+
     def step(self) -> bool:
-        """Execute a single event.  Returns ``False`` when the queue is empty."""
+        """Execute a single event.  Returns ``False`` when the queue is empty.
+
+        Pending microtasks (due *now*) are drained before the next event is
+        popped and again after it fires, mirroring the run loop.
+        """
+        self._drain_microtasks()
         event = self._queue.pop()
         if event is None:
             return False
@@ -204,6 +238,7 @@ class Simulator:
         self.now = event.time
         self._events_processed += 1
         event.fire()
+        self._drain_microtasks()
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
@@ -229,11 +264,24 @@ class Simulator:
         # Compaction rewrites the heap in place, so the alias stays valid.
         heap = queue._heap
         pop = heappop
+        micro = self._microtasks
         # Infinity sentinels keep the per-event loop free of None checks.
         limit = inf if until is None else until
         budget = inf if max_events is None else max_events
         try:
             while not self._stopped:
+                # Microtasks (0 ms loop-back deliveries) run at the current
+                # time, before the next heap event — even one scheduled for
+                # the same instant — and before the max_events valve, since
+                # they belong to the event that spawned them.
+                if micro:
+                    while micro:
+                        callback, arg = micro.popleft()
+                        if arg is None:
+                            callback()
+                        else:
+                            callback(arg)
+                    continue  # re-check the stop flag a microtask may have set
                 if processed >= budget:
                     next_time = queue.peek_time()
                     if next_time is None or next_time > limit:

@@ -34,10 +34,15 @@ class _Thread:
     outstanding_txn: Optional[Transaction] = None
     submitted_at: float = 0.0
     completed: int = 0
-    #: The pending retry watchdog, cancelled as soon as the response lands so
-    #: long-deadline retry events do not pile up in the simulator's heap (one
-    #: per completed operation otherwise).
+    #: The resident retry watchdog event.  One event per thread, re-armed
+    #: lazily: arming just records the deadline (deadlines only move
+    #: forward, so the pending event can never be too late), and the event
+    #: re-schedules itself to the current deadline when it fires early.
+    #: This replaces one schedule+cancel pair per completed operation with
+    #: one field write, while keeping retry times exact.
     retry_event: Optional[object] = None
+    retry_deadline: Optional[float] = None
+    retry_txn: Optional[Transaction] = None
 
 
 class WorkloadClient(Process):
@@ -133,24 +138,36 @@ class WorkloadClient(Process):
         self._arm_retry(thread, transaction)
 
     def _arm_retry(self, thread: _Thread, transaction: Transaction) -> None:
-        """Schedule the retry watchdog as a bound method (no per-op closure)."""
-        thread.retry_event = self.simulator.schedule(
-            self.retry_timeout, self._on_retry_timeout, 0, self._retry_label, (thread, transaction)
-        )
+        """Arm the resident watchdog: record the deadline, schedule at most once."""
+        thread.retry_txn = transaction
+        thread.retry_deadline = self.now + self.retry_timeout
+        if thread.retry_event is None:
+            thread.retry_event = self.simulator.schedule_at(
+                thread.retry_deadline, self._on_retry_check, 0, self._retry_label, thread
+            )
 
     def _cancel_retry(self, thread: _Thread) -> None:
-        event = thread.retry_event
-        if event is not None:
-            thread.retry_event = None
-            if not event.cancelled:
-                event.cancel()
-                self.simulator.notify_cancel()
+        # The resident event stays queued (it re-arms or dies when it
+        # fires); disarming is just clearing the deadline.
+        thread.retry_deadline = None
+        thread.retry_txn = None
 
-    def _on_retry_timeout(self, armed) -> None:
-        thread, transaction = armed
+    def _on_retry_check(self, thread: _Thread) -> None:
         thread.retry_event = None
         if self.crashed:
             return
+        deadline = thread.retry_deadline
+        if deadline is None:
+            return  # answered; the next submission re-creates the event
+        if self.now < deadline:
+            # Re-armed since this event was scheduled; chase the deadline.
+            thread.retry_event = self.simulator.schedule_at(
+                deadline, self._on_retry_check, 0, self._retry_label, thread
+            )
+            return
+        transaction = thread.retry_txn
+        thread.retry_deadline = None
+        thread.retry_txn = None
         self._maybe_retry(thread, transaction)
 
     def _maybe_retry(self, thread: _Thread, transaction: Transaction) -> None:

@@ -8,8 +8,22 @@ uniquely named module keeps the import unambiguous.
 
 from __future__ import annotations
 
+from typing import Callable, Iterable, Tuple
+
 from repro.core.config import HamavaConfig
 from repro.harness.deployment import Deployment, DeploymentSpec
+
+
+def members_fn(members: Iterable[str]) -> Callable[[], Tuple[str, ...]]:
+    """A ``members_fn`` stub honouring the sorted-tuple contract.
+
+    The engines, BRD, and leader election no longer defensively re-sort
+    membership (see ``consensus/interface.py``), so every stub handed to
+    them must return a *sorted tuple* — this helper replaces the old
+    ``lambda: list(members)`` stubs, which returned unsorted mutable lists.
+    """
+    frozen = tuple(sorted(members))
+    return lambda: frozen
 
 
 def fast_config(engine: str = "hotstuff", **overrides) -> HamavaConfig:
@@ -43,4 +57,4 @@ def small_deployment(
     return Deployment(spec)
 
 
-__all__ = ["fast_config", "small_deployment"]
+__all__ = ["fast_config", "members_fn", "small_deployment"]

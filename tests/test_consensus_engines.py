@@ -11,6 +11,7 @@ from repro.consensus.leader_election import ElectionComplaint, LeaderElection
 from repro.consensus.registry import ENGINES, make_engine
 from repro.errors import ConfigurationError
 from repro.net.crypto import KeyRegistry
+from tests import helpers
 from repro.net.latency import LatencyModel
 from repro.net.network import Network, NetworkConfig
 from repro.sim.process import Process
@@ -30,7 +31,7 @@ class EngineHost(Process):
         self.engine = engine_cls(
             process_id,
             0,
-            lambda: list(self.members),
+            helpers.members_fn(members),
             lambda: faults,
             network,
             simulator,
@@ -149,7 +150,7 @@ class TestLeaderElection:
                 super().__init__(pid, simulator)
                 network.register(self, "us-west1")
                 self.le = LeaderElection(
-                    pid, 0, lambda: members, lambda: (size - 1) // 3, network,
+                    pid, 0, helpers.members_fn(members), lambda: (size - 1) // 3, network,
                     on_new_leader=lambda leader, ts, p=pid: elected[p].append((leader, ts)),
                 )
 

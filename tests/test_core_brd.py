@@ -14,6 +14,7 @@ from repro.core.brd import (
 )
 from repro.core.types import join_request, leave_request
 from repro.net.crypto import KeyRegistry
+from tests import helpers
 from repro.net.latency import LatencyModel
 from repro.net.network import Network, NetworkConfig
 from repro.sim.process import Process
@@ -32,7 +33,7 @@ class BrdHost(Process):
             owner=process_id,
             cluster_id=0,
             round_number=1,
-            members_fn=lambda: list(members),
+            members_fn=helpers.members_fn(members),
             faults_fn=lambda: (len(members) - 1) // 3,
             network=network,
             simulator=simulator,

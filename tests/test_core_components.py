@@ -24,6 +24,7 @@ from repro.net.network import Network, NetworkConfig
 from repro.net.message import Envelope
 from repro.sim.process import Process
 from repro.sim.simulator import Simulator
+from tests import helpers
 
 
 class TestFailureThreshold:
@@ -163,7 +164,7 @@ class CollectorHost(Process):
             owner=process_id,
             cluster_id=0,
             network=network,
-            members_fn=lambda: members,
+            members_fn=helpers.members_fn(members),
             round_fn=lambda: 1,
         )
 

@@ -1,0 +1,218 @@
+"""Tests for the fused delivery pipeline: event budget, 0 ms loop-back,
+microtask ordering, and fixed-seed determinism.
+
+These pin the *structural* wins of the pipeline refactor:
+
+* at most one kernel event per delivered message in an end-to-end run
+  (the old ``net:deliver`` → ``net:cpu`` chain cost two),
+* self-addressed messages are handed over at the same virtual instant with
+  no latency draw, no drop-rule evaluation, and no kernel event,
+* same seed ⇒ byte-identical :class:`~repro.harness.runner.ResultRow`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harness.runner import run_scenario
+from repro.net.crypto import KeyRegistry
+from repro.net.latency import LatencyModel
+from repro.net.links import AuthenticatedBestEffortBroadcast, AuthenticatedPerfectLink
+from repro.net.message import Message
+from repro.net.network import Network, NetworkConfig
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from tests.repin_goldens import e0_spec
+
+
+@dataclass
+class Note(Message):
+    text: str = "hi"
+
+
+class Recorder(Process):
+    def __init__(self, process_id, simulator):
+        super().__init__(process_id, simulator)
+        self.received = []
+
+    def on_message(self, sender, envelope):
+        self.received.append((sender, envelope.payload, self.now))
+
+
+def build_network(seed=3, cpu_model=True):
+    simulator = Simulator(seed=seed)
+    registry = KeyRegistry(seed=seed)
+    network = Network(
+        simulator, LatencyModel(simulator.rng), registry, NetworkConfig(cpu_model=cpu_model)
+    )
+    return simulator, network
+
+
+# ---------------------------------------------------------------------- #
+# Kernel event budget: <= 1 event per delivered message, end to end
+# ---------------------------------------------------------------------- #
+class TestEventBudget:
+    def test_e0_run_spends_at_most_one_kernel_event_per_delivered_message(self):
+        spec = e0_spec()
+        deployment = spec.build()
+        deployment.run(duration=spec.duration, warmup=spec.warmup)
+        stats = deployment.network.stats
+        delivered = stats.messages_delivered + stats.loopback_messages
+        events = deployment.simulator.events_processed
+        assert delivered > 10_000, "scenario must exercise real traffic"
+        assert events <= delivered, (
+            f"{events} kernel events for {delivered} delivered messages "
+            f"({events / delivered:.2f} per message); the fused pipeline "
+            "guarantees at most one"
+        )
+
+    def test_wire_message_costs_exactly_one_kernel_event(self):
+        simulator, network = build_network()
+        a, b = Recorder("a", simulator), Recorder("b", simulator)
+        network.register(a, "us-west1")
+        network.register(b, "us-west1")
+        AuthenticatedPerfectLink("a", network).send("b", Note("one"))
+        simulator.run()
+        assert len(b.received) == 1
+        assert simulator.events_processed == 1
+
+    def test_loopback_costs_zero_kernel_events(self):
+        simulator, network = build_network()
+        a = Recorder("a", simulator)
+        network.register(a, "us-west1")
+        AuthenticatedPerfectLink("a", network).send("a", Note("self"))
+        simulator.run()
+        assert len(a.received) == 1
+        assert simulator.events_processed == 0
+
+
+# ---------------------------------------------------------------------- #
+# 0 ms loop-back semantics
+# ---------------------------------------------------------------------- #
+class TestLoopback:
+    def test_self_send_is_delivered_at_the_same_virtual_instant(self):
+        simulator, network = build_network()
+        a = Recorder("a", simulator)
+        network.register(a, "us-west1")
+        link = AuthenticatedPerfectLink("a", network)
+        simulator.schedule(1.5, lambda: link.send("a", Note("self")))
+        simulator.run()
+        assert [(s, t) for s, _, t in a.received] == [("a", 1.5)]
+
+    def test_self_send_bypasses_drop_rules(self):
+        simulator, network = build_network()
+        a = Recorder("a", simulator)
+        network.register(a, "us-west1")
+        network.isolate("a")  # would drop any wire traffic to or from a
+        AuthenticatedPerfectLink("a", network).send("a", Note("self"))
+        simulator.run()
+        assert len(a.received) == 1
+        assert network.stats.messages_dropped == 0
+        assert network.stats.loopback_messages == 1
+
+    def test_self_send_never_consumes_the_latency_stream(self):
+        """Two identical runs — one with extra self-sends — must produce
+        identical wire delivery times, proving loop-back draws no jitter."""
+
+        def wire_delivery_time(with_self_sends):
+            simulator, network = build_network(seed=11)
+            a, b = Recorder("a", simulator), Recorder("b", simulator)
+            network.register(a, "us-west1")
+            network.register(b, "us-west1")
+            link = AuthenticatedPerfectLink("a", network)
+            if with_self_sends:
+                for _ in range(5):
+                    link.send("a", Note("self"))
+            link.send("b", Note("wire"))
+            simulator.run()
+            return b.received[0][2]
+
+        assert wire_delivery_time(False) == wire_delivery_time(True)
+
+    def test_self_sends_are_not_counted_as_wire_traffic(self):
+        simulator, network = build_network()
+        nodes = [Recorder(f"n{i}", simulator) for i in range(4)]
+        for node in nodes:
+            network.register(node, "us-west1")
+        group = tuple(sorted(n.process_id for n in nodes))
+        AuthenticatedBestEffortBroadcast("n0", network, lambda: group).broadcast(Note("all"))
+        simulator.run()
+        assert network.stats.messages_sent == 3  # the three wire copies
+        assert network.stats.loopback_messages == 1
+        assert network.stats.messages_delivered == 3
+        assert network.stats.by_type["Note"] == 4  # census counts every copy
+        for node in nodes:
+            assert len(node.received) == 1
+
+    def test_loopback_to_a_just_crashed_sender_is_dropped(self):
+        """A process that self-sends and crashes within the same event must
+        not hear from itself: the microtask sees the crash."""
+        simulator, network = build_network()
+        a = Recorder("a", simulator)
+        network.register(a, "us-west1")
+        link = AuthenticatedPerfectLink("a", network)
+
+        def send_then_crash():
+            link.send("a", Note("ghost"))
+            a.crash()
+
+        simulator.schedule(0.5, send_then_crash)
+        simulator.run()
+        assert a.received == []
+        assert network.stats.messages_dropped == 1
+        assert network.stats.loopback_messages == 0
+
+    def test_loopback_runs_before_the_next_heap_event(self):
+        """Microtasks jump ahead of already-queued events at the same time."""
+        simulator, network = build_network()
+        a = Recorder("a", simulator)
+        network.register(a, "us-west1")
+        link = AuthenticatedPerfectLink("a", network)
+        order = []
+
+        def sender():
+            link.send("a", Note("self"))
+            order.append("sent")
+
+        simulator.schedule(1.0, sender)
+        simulator.schedule(1.0, lambda: order.append("later-event"))
+        original = a.on_message
+
+        def record(sender_id, envelope):
+            order.append("delivered")
+            original(sender_id, envelope)
+
+        a.on_message = record
+        simulator.run()
+        assert order == ["sent", "delivered", "later-event"]
+
+
+# ---------------------------------------------------------------------- #
+# Link-latency aggregates exclude loop-back by construction
+# ---------------------------------------------------------------------- #
+class TestLinkLatencyStats:
+    def test_mean_link_latency_covers_wire_messages_only(self):
+        simulator, network = build_network()
+        a, b = Recorder("a", simulator), Recorder("b", simulator)
+        network.register(a, "us-west1")
+        network.register(b, "asia-south1")
+        link = AuthenticatedPerfectLink("a", network)
+        for _ in range(10):
+            link.send("a", Note("self"))  # 0 ms, must not dilute the mean
+        link.send("b", Note("wire"))
+        simulator.run()
+        stats = network.stats
+        assert stats.link_latency_count == 1
+        # One us-west1 -> asia-south1 hop: ~107 ms one way.
+        assert stats.mean_link_latency() > 0.05
+
+
+# ---------------------------------------------------------------------- #
+# Fixed-seed determinism of full scenario rows
+# ---------------------------------------------------------------------- #
+class TestDeterminism:
+    def test_same_seed_produces_identical_result_rows(self):
+        spec = e0_spec().with_seed(3)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first.to_json() == second.to_json()
