@@ -216,6 +216,23 @@ def _print_comparison(old_path: str, new_report: dict) -> int:
               f"({old_probe.get('probe_version')} vs {new_probe.get('probe_version')}); "
               "re-pin the committed report")
         return 0
+    # Wire messages per committed operation: deterministic per seed, so —
+    # unlike the timing rates — it gates.  Checked *before* the fingerprint:
+    # any wire/op change also changes the fingerprint, and a regression
+    # should fail with this targeted diagnosis rather than the generic
+    # drift message (which a sanctioned re-pin would clear without anyone
+    # noticing the protocol got chattier).  The 2% head-room only absorbs
+    # float noise.
+    old_ratio = old_probe.get("wire_messages_per_committed_op")
+    new_ratio = new_probe.get("wire_messages_per_committed_op")
+    if old_ratio is not None and new_ratio is not None:
+        if new_ratio > old_ratio * 1.02 or (old_ratio > 0.0 and new_ratio == 0.0):
+            print("[perf][compare] WIRE/OP REGRESSION: "
+                  f"{old_ratio:.4f} -> {new_ratio:.4f} wire messages per committed "
+                  "operation (gating; see the quiet-round invariant in "
+                  "benchmarks/perf/macro_bench.py)")
+            return 1
+        print(f"[perf][compare] wire/op invariant: {old_ratio:.4f} -> {new_ratio:.4f} (ok)")
     if old_probe.get("fingerprint") != new_probe.get("fingerprint"):
         print("[perf][compare] DETERMINISM MISMATCH: fixed-seed behaviour drifted "
               f"({old_probe.get('fingerprint')} -> {new_probe.get('fingerprint')}). "

@@ -21,7 +21,9 @@ from typing import Dict
 
 #: Bump when the probe scenario itself changes, so fingerprint mismatches
 #: caused by probe redefinition are distinguishable from behaviour drift.
-PROBE_VERSION = 1
+#: v2: fingerprint payload gained ``operations``; the probe now reports the
+#: wire-messages-per-committed-op invariant the compare step gates on.
+PROBE_VERSION = 2
 
 
 def _probe_spec():
@@ -51,6 +53,7 @@ def run_probe() -> Dict[str, object]:
                 "summary": metrics.summary(),
                 "network": deployment.network.stats.snapshot(),
                 "events": deployment.simulator.events_processed,
+                "operations": metrics.committed_count(),
             },
             sort_keys=True,
         )
@@ -58,10 +61,17 @@ def run_probe() -> Dict[str, object]:
     first = one_run()
     second = one_run()
     payload = f"v{PROBE_VERSION}|{first}".encode("utf-8")
+    data = json.loads(first)
+    operations = data["operations"]
+    wire = data["network"]["messages_sent"]
     return {
         "probe_version": PROBE_VERSION,
         "scenario": "determinism-probe (4+4 hotstuff, 0.75s, seed 7)",
-        "events": json.loads(first)["events"],
+        "events": data["events"],
+        # Deterministic protocol-efficiency invariant (see macro_bench):
+        # gated by ``--compare`` so a quiet-round regression fails fast even
+        # though the probe's duration differs from the macro run's.
+        "wire_messages_per_committed_op": wire / operations if operations else 0.0,
         "fingerprint": hashlib.sha256(payload).hexdigest(),
         "repeat_identical": first == second,
     }

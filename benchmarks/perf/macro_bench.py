@@ -29,7 +29,7 @@ def _spec(duration: float, seed: int):
 def bench_e0(duration: float = 3.0, seed: int = 11, repeats: int = 2) -> Dict[str, float]:
     """Build and run one E0-style deployment, best-of-``repeats``."""
     best = float("inf")
-    events = operations = 0
+    events = operations = wire_messages = 0
     for _ in range(repeats):
         spec = _spec(duration, seed)
         deployment = spec.build()
@@ -40,6 +40,7 @@ def bench_e0(duration: float = 3.0, seed: int = 11, repeats: int = 2) -> Dict[st
             best = elapsed
             events = deployment.simulator.events_processed
             operations = metrics.committed_count()
+            wire_messages = deployment.network.stats.messages_sent
     return {
         "sim_duration_s": duration,
         "wall_s": best,
@@ -53,6 +54,12 @@ def bench_e0(duration: float = 3.0, seed: int = 11, repeats: int = 2) -> Dict[st
         # faster simulation.  Useful work per wall second cannot be gamed
         # that way.
         "ops_per_sec": operations / best,
+        # Protocol-efficiency invariant (quiet-round PR): wire messages per
+        # committed operation.  Deterministic per seed — unlike the timing
+        # rates it is gateable, and a quiet-round regression (the n^2
+        # Echo/Ready storm coming back) moves it immediately.
+        "wire_messages": float(wire_messages),
+        "wire_messages_per_committed_op": wire_messages / operations if operations else 0.0,
     }
 
 

@@ -30,7 +30,12 @@ def _check_single_region(rows):
     # gains ground as clusters grow, both systems within a band and scaling)
     # and document the level deviation, as E6.2 already does for the
     # multi-region sweep.
-    assert few["geobft_throughput"] > few["ava_hotstuff_throughput"] * 0.7
+    # The band widened from 0.7 after the quiet-round PR: eliding the empty
+    # reconfiguration exchange shortens Hamava's rounds, and GeoBFT — which
+    # runs no reconfiguration workflow at all — has nothing to elide, so
+    # AVA-HOTSTUFF pulls further ahead at few clusters (same level deviation
+    # as above, same preserved trends below).
+    assert few["geobft_throughput"] > few["ava_hotstuff_throughput"] * 0.6
     ratio_few = few["geobft_throughput"] / max(few["ava_hotstuff_throughput"], 1e-9)
     ratio_many = many["geobft_throughput"] / max(many["ava_hotstuff_throughput"], 1e-9)
     # GeoBFT gains relative ground as the cluster count grows (pipelining

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
-from repro.consensus.interface import TotalOrderBroadcast, commit_digest
+from repro.consensus.interface import TotalOrderBroadcast
 from repro.net.crypto import Certificate, Signature
 from repro.net.message import Envelope, Message, payload_digest
 
@@ -46,7 +46,13 @@ class HsProposal(Message):
 
 @dataclass
 class HsVote(Message):
-    """A replica's vote for one phase, sent to the leader."""
+    """A replica's vote for one phase, sent to the leader.
+
+    Commit-phase votes may carry an opaque ``round_marker`` (the replica's
+    piggybacked BRD submission for the round — see ``round_marker_fn`` in
+    ``consensus/interface.py``); the marker's signature is verified by the
+    receiver, so it adds one verification to the message cost.
+    """
 
     cluster_id: int
     sequence: int
@@ -54,9 +60,10 @@ class HsVote(Message):
     phase: str
     value_digest: str
     commit_signature: Optional[Signature] = None
+    round_marker: Any = None
 
     def verification_cost(self) -> int:
-        return 1
+        return 1 if self.round_marker is None else 2
 
 
 @dataclass
@@ -69,9 +76,23 @@ class HsPhase(Message):
     phase: str
     value_digest: str
     certificate: Certificate = field(default_factory=lambda: Certificate(""))
+    #: Opaque piggyback slot on the decide broadcast (``decide_extra_fn``);
+    #: Hamava ships the quiet-round empty-unanimity proof here.
+    extra: Any = None
+    #: Catch-up decides (leader → laggard replies) carry the decided value
+    #: so a replica that never saw the winning proposal can verify the
+    #: commit certificate against it and adopt the decision.  Broadcast
+    #: decides leave it ``None`` — receivers hold the value already.
+    value: Any = None
 
     def estimated_size(self) -> int:
-        return 256 + 96 * len(self.certificate)
+        size = 256 + 96 * len(self.certificate)
+        extra = self.extra
+        if extra is not None:
+            size += 128 + 96 * len(extra) if hasattr(extra, "__len__") else 128
+        if self.value is not None:
+            size += _value_size(self.value)
+        return size
 
     def verification_cost(self) -> int:
         # HotStuff aggregates votes into a quorum certificate that verifies in
@@ -129,20 +150,43 @@ class HotStuffEngine(TotalOrderBroadcast):
         #: Per (sequence, view, phase) commit-digest certificates (commit phase).
         self._commit_certs: Dict[tuple, Certificate] = {}
         self._voted: Dict[tuple, bool] = {}
-        self._new_views: Dict[tuple, List[HsNewView]] = {}
+        #: Per (sequence, view, completed phase) guard so each quorum fires
+        #: its follow-up broadcast exactly once.  Without it every vote past
+        #: the quorum re-broadcast the next phase (and receivers dropped the
+        #: duplicate via ``_voted``) — two redundant broadcasts per decision.
+        self._advanced: Dict[tuple, bool] = {}
+        #: (sequence, view) pairs this leader already proposed for (see
+        #: :meth:`propose` — one proposal per view, no self-equivocation).
+        self._proposed_views: Dict[tuple, bool] = {}
+        #: View-change reports per (sequence, view), keyed by sender so a
+        #: laggard re-sending its report cannot double-count toward quorum.
+        self._new_views: Dict[tuple, Dict[str, HsNewView]] = {}
 
     # ------------------------------------------------------------------ #
     # Proposing
     # ------------------------------------------------------------------ #
     def propose(self, sequence: int, value: Any) -> None:
-        """Leader entry point: broadcast the prepare-phase proposal."""
+        """Leader entry point: broadcast the prepare-phase proposal.
+
+        At most one proposal per (sequence, view): a second ``propose`` in
+        the same view (e.g. the new leader's batch timer racing its own
+        view-change re-proposal) must not overwrite the in-flight value —
+        replicas vote once per phase per view, so a self-equivocating
+        leader would strand the instance with votes split across digests.
+        """
         instance = self.instance(sequence)
         if instance.decided:
             return
+        if not self.is_leader():
+            instance.value = value
+            instance.value_digest = payload_digest(value)
+            return
+        key = (sequence, self.view_ts)
+        if self._proposed_views.get(key):
+            return
+        self._proposed_views[key] = True
         instance.value = value
         instance.value_digest = payload_digest(value)
-        if not self.is_leader():
-            return
         self.start_instance(sequence)
         proposal = HsProposal(
             cluster_id=self.cluster_id,
@@ -189,10 +233,13 @@ class HotStuffEngine(TotalOrderBroadcast):
             return
         self._voted[key] = True
         commit_signature = None
+        round_marker = None
         if phase == "commit":
             instance = self.instance(sequence)
             digest = self.instance_commit_digest(instance)
             commit_signature = self.registry.sign(self.owner, digest)
+            if self.round_marker_fn is not None:
+                round_marker = self.round_marker_fn(sequence)
         vote = HsVote(
             cluster_id=self.cluster_id,
             sequence=sequence,
@@ -200,10 +247,18 @@ class HotStuffEngine(TotalOrderBroadcast):
             phase=phase,
             value_digest=value_digest,
             commit_signature=commit_signature,
+            round_marker=round_marker,
         )
         self.apl.send(self.leader, vote)
 
     def _on_phase(self, sender: str, message: HsPhase) -> None:
+        if message.phase == "decide" and message.value is not None:
+            # Catch-up replies are self-certifying (the certificate is
+            # checked against the carried value), so they are accepted
+            # regardless of the local view — the laggard's whole problem is
+            # that its view of the leader is behind.
+            self._on_catchup_decide(sender, message)
+            return
         if sender != self.leader or message.view != self.view_ts:
             return
         instance = self.instance(message.sequence)
@@ -234,11 +289,19 @@ class HotStuffEngine(TotalOrderBroadcast):
             ):
                 return
             self._decide(message.sequence, instance.value, message.certificate)
+            if message.extra is not None and self.on_decide_extra is not None:
+                self.on_decide_extra(message.sequence, sender, message.extra)
+
+    def _on_catchup_decide(self, sender: str, message: HsPhase) -> None:
+        """Adopt a value-carrying decide (a decided peer's reply to a laggard)."""
+        self._adopt_certified_decision(message.sequence, message.value, message.certificate)
 
     # -- leader side ----------------------------------------------------- #
     def _on_vote(self, sender: str, vote: HsVote) -> None:
         if not self.is_leader() or vote.view != self.view_ts:
             return
+        if vote.round_marker is not None and self.on_round_marker is not None:
+            self.on_round_marker(vote.sequence, sender, vote.round_marker)
         instance = self.instance(vote.sequence)
         if instance.decided or instance.value is None:
             return
@@ -261,6 +324,7 @@ class HotStuffEngine(TotalOrderBroadcast):
 
     def _advance_phase(self, sequence: int, completed_phase: str, cert: Certificate) -> None:
         instance = self.instance(sequence)
+        key = (sequence, self.view_ts, completed_phase)
         if completed_phase == "prepare":
             next_phase = "precommit"
         elif completed_phase == "precommit":
@@ -269,6 +333,12 @@ class HotStuffEngine(TotalOrderBroadcast):
             commit_cert = self._commit_certs.get((sequence, self.view_ts, "commit"))
             if commit_cert is None or len(commit_cert) < self.quorum():
                 return
+            if self._advanced.get(key):
+                return
+            self._advanced[key] = True
+            extra = None
+            if self.decide_extra_fn is not None:
+                extra = self.decide_extra_fn(sequence)
             decide = HsPhase(
                 cluster_id=self.cluster_id,
                 sequence=sequence,
@@ -276,11 +346,15 @@ class HotStuffEngine(TotalOrderBroadcast):
                 phase="decide",
                 value_digest=instance.value_digest or "",
                 certificate=commit_cert,
+                extra=extra,
             )
             self.abeb.broadcast(decide)
             return
         else:
             return
+        if self._advanced.get(key):
+            return
+        self._advanced[key] = True
         message = HsPhase(
             cluster_id=self.cluster_id,
             sequence=sequence,
@@ -309,18 +383,37 @@ class HotStuffEngine(TotalOrderBroadcast):
             self.apl.send(self.leader, report)
 
     def _on_new_view(self, sender: str, report: HsNewView) -> None:
+        decision = self.decisions.get(report.sequence)
+        if decision is not None:
+            # The reporter is behind a decision this replica already holds
+            # (it missed a partial decide across a view change); answer with
+            # a value-carrying decide it can verify and adopt.  Any decided
+            # replica answers — the stuck one may *be* the leader, in which
+            # case only its peers can repair it.
+            if sender != self.owner:
+                self.apl.send(
+                    sender,
+                    HsPhase(
+                        cluster_id=self.cluster_id,
+                        sequence=report.sequence,
+                        view=self.view_ts,
+                        phase="decide",
+                        value_digest=payload_digest(decision.value),
+                        certificate=decision.certificate,
+                        value=decision.value,
+                    ),
+                )
+            return
         if not self.is_leader() or report.view != self.view_ts:
             return
         instance = self.instance(report.sequence)
-        if instance.decided:
-            return
         key = (report.sequence, report.view)
-        reports = self._new_views.setdefault(key, [])
-        reports.append(report)
+        reports = self._new_views.setdefault(key, {})
+        reports[sender] = report  # dedup: re-sent reports must not double-count
         if len(reports) < self.quorum():
             return
         value = None
-        for item in reports:
+        for item in reports.values():
             if item.prepared_value is not None and item.prepared_certificate is not None:
                 value = item.prepared_value
                 break
@@ -332,6 +425,25 @@ class HotStuffEngine(TotalOrderBroadcast):
             return
         del self._new_views[key]
         self.propose(report.sequence, value)
+
+    def _request_catchup(self, sequence: int) -> None:
+        """Re-report a stuck instance to the whole cluster (see base class).
+
+        Broadcast, not leader-only: when a quorum already decided the
+        sequence, the decided replicas no longer consider it pending and
+        will never re-report it — they (not the possibly equally-stuck
+        leader) hold the decision this replica is missing.
+        """
+        instance = self.instance(sequence)
+        self.abeb.broadcast(
+            HsNewView(
+                cluster_id=self.cluster_id,
+                sequence=sequence,
+                view=self.view_ts,
+                prepared_value=instance.prepared_value,
+                prepared_certificate=instance.prepared_certificate,
+            ),
+        )
 
 
 __all__ = ["HotStuffEngine", "HsNewView", "HsPhase", "HsProposal", "HsVote", "PHASES"]

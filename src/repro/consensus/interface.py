@@ -70,7 +70,6 @@ class _Instance:
     prepared_certificate: Optional[Certificate] = None
     decided: bool = False
     votes: dict = field(default_factory=dict)
-    timer: Any = None
     #: Cache of ``commit_digest(cluster, sequence, value)`` together with the
     #: value identity it was computed for (the digest walks the whole batch,
     #: and the engines recompute it once per vote/phase otherwise).
@@ -100,6 +99,21 @@ class TotalOrderBroadcast(ABC):
         config: Engine constants.
         on_deliver: Callback ``(Decision) -> None``.
         on_complain: Callback ``(leader_id) -> None`` used to feed Alg. 8.
+        round_marker_fn: Optional ``(sequence) -> marker | None``.  Called
+            when this replica sends its commit-phase vote; a non-``None``
+            marker rides the vote to its receivers.  Hamava piggybacks the
+            round's BRD submission (usually the empty set) here, eliding the
+            separate ``BrdSubmit`` message on the steady-state path.
+        on_round_marker: Optional ``(sequence, sender, marker) -> None``.
+            Invoked at a receiver for every commit-phase vote carrying a
+            marker (the leader for leader-collected engines; everyone for
+            all-to-all engines).  Markers are opaque to the engine.
+        decide_extra_fn: Optional ``(sequence) -> extra | None``.  Asked by
+            engines that broadcast an explicit decide message, just before
+            that broadcast; a non-``None`` value rides the decide.  Hamava
+            attaches the quiet-round empty-unanimity proof (``core/brd.py``).
+        on_decide_extra: Optional ``(sequence, sender, extra) -> None``.
+            Invoked at a receiver after a decide carrying an extra delivers.
     """
 
     #: Message payload classes this engine consumes (set by subclasses).
@@ -116,6 +130,10 @@ class TotalOrderBroadcast(ABC):
         config: Optional[ConsensusConfig] = None,
         on_deliver: Optional[Callable[[Decision], None]] = None,
         on_complain: Optional[Callable[[str], None]] = None,
+        round_marker_fn: Optional[Callable[[int], Any]] = None,
+        on_round_marker: Optional[Callable[[int, str, Any], None]] = None,
+        decide_extra_fn: Optional[Callable[[int], Any]] = None,
+        on_decide_extra: Optional[Callable[[int, str, Any], None]] = None,
     ) -> None:
         self.owner = owner
         self.cluster_id = cluster_id
@@ -126,12 +144,21 @@ class TotalOrderBroadcast(ABC):
         self.config = config or ConsensusConfig()
         self.on_deliver = on_deliver or (lambda decision: None)
         self.on_complain = on_complain or (lambda leader: None)
+        self.round_marker_fn = round_marker_fn
+        self.on_round_marker = on_round_marker
+        self.decide_extra_fn = decide_extra_fn
+        self.on_decide_extra = on_decide_extra
         self.apl = AuthenticatedPerfectLink(owner, network)
         self.abeb = AuthenticatedBestEffortBroadcast(owner, network, members_fn)
         self.leader: str = self.members()[0] if self.members() else owner
         self.view_ts: int = 0
         self.decisions: dict[int, Decision] = {}
         self._instances: dict[int, _Instance] = {}
+        #: One lazy-deadline pool watches every in-flight instance: arming a
+        #: leader watchdog is a dict write, disarming on decide a dict pop
+        #: (see :class:`~repro.sim.simulator.DeadlinePool`) — replacing the
+        #: per-instance Timer object and its schedule+cancel pair per round.
+        self._watchdogs = simulator.deadline_pool(self._on_timeout, name=f"{owner}:tob")
 
     # ------------------------------------------------------------------ #
     # Membership helpers
@@ -173,29 +200,30 @@ class TotalOrderBroadcast(ABC):
         return instance
 
     def start_instance(self, sequence: int) -> None:
-        """Arm the local timer watching the leader for this instance."""
+        """Arm the leader watchdog for this instance."""
         instance = self.instance(sequence)
         if instance.decided:
             return
-        if instance.timer is None:
-            instance.timer = self.simulator.timer(
-                self.config.instance_timeout,
-                lambda seq=sequence: self._on_timeout(seq),
-                name=f"{self.owner}:tob:{sequence}",
-            )
-        instance.timer.start(self.config.instance_timeout)
+        self._watchdogs.arm(sequence, self.config.instance_timeout)
 
     def _on_timeout(self, sequence: int) -> None:
         instance = self._instances.get(sequence)
         if instance is None or instance.decided:
             return
         self.on_complain(self.leader)
+        # A timed-out instance may be one the rest of the cluster already
+        # decided (a partial decide across a view change): re-report it to
+        # the cluster — any decided peer answers with a value-carrying,
+        # self-certifying decision — and keep watching until it resolves.
+        self._request_catchup(sequence)
+        self._watchdogs.arm(sequence, self.config.instance_timeout)
+
+    def _request_catchup(self, sequence: int) -> None:
+        """Subclass hook: ask the current leader to repair a stuck instance."""
 
     def stop_instance_timer(self, sequence: int) -> None:
-        """Disarm the leader-watch timer for a decided instance."""
-        instance = self._instances.get(sequence)
-        if instance is not None and instance.timer is not None:
-            instance.timer.stop()
+        """Disarm the leader watchdog for a decided instance."""
+        self._watchdogs.disarm(sequence)
 
     def _decide(self, sequence: int, value: Any, certificate: Certificate) -> None:
         instance = self.instance(sequence)
@@ -215,6 +243,31 @@ class TotalOrderBroadcast(ABC):
     def has_decided(self, sequence: int) -> bool:
         """Whether this replica already delivered the given sequence."""
         return sequence in self.decisions
+
+    def _adopt_certified_decision(self, sequence: int, value: Any, certificate) -> bool:
+        """Adopt a peer's decided value after verifying its commit certificate.
+
+        The catch-up path for both engines: the replica may never have seen
+        the winning proposal (it voted for a different one, or none, across
+        a view change), so the value arrives alongside the certificate and
+        the certificate is checked against *that* value — ``2f+1`` member
+        signatures over the commit digest prove the cluster decided it,
+        regardless of which view or sender the reply came from.
+        """
+        instance = self.instance(sequence)
+        if instance.decided or value is None:
+            return False
+        digest = commit_digest(self.cluster_id, sequence, value)
+        if not self.registry.certificate_valid(
+            certificate, self.members(), self.quorum(), digest=digest
+        ):
+            return False
+        instance.value = value
+        instance.value_digest = payload_digest(value)
+        instance.commit_digest_value = value
+        instance.commit_digest_cache = digest
+        self._decide(sequence, value, certificate)
+        return True
 
     def instance_commit_digest(self, instance: _Instance) -> str:
         """``commit_digest`` over an instance's value, cached per value.

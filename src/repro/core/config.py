@@ -155,6 +155,14 @@ class HamavaConfig:
             consensus (the single-workflow baseline of E5.2).
         local_reads: Serve read transactions immediately at the contacted
             replica (the behaviour the paper describes in E2).
+        inter_share_grace: Seconds a later-indexed Inter receiver waits for
+            the first-indexed receiver's ``LocalShare`` before re-broadcasting
+            the bundle itself.  The ``f+1`` Inter targets all re-broadcast in
+            Alg. 1 so one Byzantine receiver cannot suppress dissemination;
+            staggering keeps that guarantee (a silent first receiver costs
+            only this grace period) while eliding the duplicate broadcast —
+            one of ``f+1`` identical cluster-wide multicasts per remote
+            bundle — on the fault-free path.
         retry_timeout: Client-side retransmission timeout for lost writes.
         pipeline_local_ordering: When ``True`` the leader starts ordering the
             next round's batch as soon as the current round's local ordering
@@ -172,6 +180,7 @@ class HamavaConfig:
     consensus: ConsensusConfig = field(default_factory=ConsensusConfig)
     parallel_reconfig: bool = True
     local_reads: bool = True
+    inter_share_grace: float = 0.002
     retry_timeout: float = 60.0
     pipeline_local_ordering: bool = False
 

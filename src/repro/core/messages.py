@@ -32,11 +32,18 @@ class ClientRequest(Message):
 
 @dataclass
 class ClientResponse(Message):
-    """A replica's response for one executed (or locally served) transaction."""
+    """A replica's response for one executed (or locally served) transaction.
+
+    ``leader_hint`` names the responder's current cluster leader so clients
+    can route subsequent writes straight to it (standard BFT client
+    behaviour — PBFT/BFT-SMaRt clients track the primary), skipping the
+    per-write forward hop from a contacted non-leader.
+    """
 
     txn_id: str
     value: Optional[str] = None
     committed_round: int = 0
+    leader_hint: str = ""
 
     def estimated_size(self) -> int:
         return 192
@@ -239,6 +246,29 @@ class BrdReady(Message):
 
 
 @dataclass
+class BrdQuietDeliver(Message):
+    """Quiet-round delivery marker (see ``core/brd.py``).
+
+    When a round's aggregate is provably empty-and-unanimous, replicas send
+    their Ready signatures point-to-point to the leader instead of
+    broadcasting, and the leader answers with this single marker carrying
+    the assembled ``2f+1`` Ready certificate over the empty set — the same
+    Σ' remote clusters verify on the full path.
+    """
+
+    cluster_id: int
+    round_number: int
+    view_ts: int
+    certificate: Certificate = field(default_factory=lambda: Certificate(""))
+
+    def estimated_size(self) -> int:
+        return 224 + 96 * len(self.certificate)
+
+    def verification_cost(self) -> int:
+        return max(1, len(self.certificate))
+
+
+@dataclass
 class BrdValid(Message):
     """A replica's stored valid set, forwarded to a new BRD leader."""
 
@@ -274,12 +304,14 @@ CORE_MESSAGE_TYPES = (
     BrdAgg,
     BrdEcho,
     BrdReady,
+    BrdQuietDeliver,
     BrdValid,
 )
 
 __all__ = [
     "BrdAgg",
     "BrdEcho",
+    "BrdQuietDeliver",
     "BrdReady",
     "BrdSubmit",
     "BrdValid",

@@ -23,7 +23,7 @@ from repro.net.crypto import Signature
 from repro.net.links import AuthenticatedBestEffortBroadcast, AuthenticatedPerfectLink
 from repro.net.message import Envelope
 from repro.net.network import Network
-from repro.sim.simulator import Simulator, Timer
+from repro.sim.simulator import Simulator
 
 
 @dataclass
@@ -34,7 +34,6 @@ class _ClusterWatch:
     received_complaint_number: int = 0
     complaint_signatures: Dict[str, Signature] = field(default_factory=dict)
     complained: bool = False
-    timer: Optional[Timer] = None
 
 
 class RemoteLeaderChange:
@@ -101,6 +100,10 @@ class RemoteLeaderChange:
             owner, network, lambda: members_of_fn(cluster_id)
         )
         self._watches: Dict[int, _ClusterWatch] = {}
+        #: One lazy-deadline pool (keyed by remote cluster id) replaces the
+        #: per-cluster Timer objects re-armed every round — arming is a dict
+        #: write instead of a schedule+cancel pair.
+        self._watch_pool = simulator.deadline_pool(self._on_timeout, name=f"{owner}:remote")
         #: Count of leader changes this replica triggered via remote complaints
         #: (exposed for tests and metrics).
         self.remote_changes_applied = 0
@@ -141,25 +144,16 @@ class RemoteLeaderChange:
             watch.received_complaint_number = 0
             watch.complaint_signatures = {}
             watch.complained = False
-            if watch.timer is None:
-                watch.timer = self.simulator.timer(
-                    self.timeout,
-                    lambda cid=cluster_id: self._on_timeout(cid),
-                    name=f"{self.owner}:remote:{cluster_id}",
-                )
-            watch.timer.start(self.timeout)
+            self._watch_pool.arm(cluster_id, self.timeout)
 
     def stop_timer(self, cluster_id: int) -> None:
         """Stop the watch timer for a cluster whose operations arrived."""
-        watch = self._watch(cluster_id)
-        if watch.timer is not None:
-            watch.timer.stop()
+        self._watch_pool.disarm(cluster_id)
 
     def stop_all(self) -> None:
         """Stop every watch timer (round teardown)."""
-        for watch in self._watches.values():
-            if watch.timer is not None:
-                watch.timer.stop()
+        for cluster_id in self._watches:
+            self._watch_pool.disarm(cluster_id)
 
     # ------------------------------------------------------------------ #
     # Complaint generation (Alg. 2, lines 7-20)
@@ -225,8 +219,7 @@ class RemoteLeaderChange:
         watch.complaint_number += 1
         watch.complaint_signatures = {}
         watch.complained = False
-        if watch.timer is not None:
-            watch.timer.start(self.timeout)
+        self._watch_pool.arm(target_cluster, self.timeout)
 
     # ------------------------------------------------------------------ #
     # Complaint acceptance (Alg. 2, lines 21-26)

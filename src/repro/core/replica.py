@@ -190,6 +190,10 @@ class HamavaReplica(Process):
             on_deliver=self._on_tob_deliver,
             on_complain=self._complain,
             fetch_value=self._fetch_batch,
+            round_marker_fn=self._brd_round_marker,
+            on_round_marker=self._on_brd_round_marker,
+            decide_extra_fn=self._brd_decide_extra,
+            on_decide_extra=self._on_brd_decide_extra,
         )
         self.collector = ReconfigurationCollector(
             owner=replica_id,
@@ -214,10 +218,20 @@ class HamavaReplica(Process):
             last_leader_change_fn=lambda: self.last_leader_change,
         )
         self._brd_instances: Dict[int, ByzantineReliableDissemination] = {}
+        #: Shared lazy-deadline pool for the per-round BRD delivery timers
+        #: (keyed by round number); expirations route back to the instance.
+        self._brd_timer_pool = simulator.deadline_pool(
+            self._on_brd_timer, name=f"{replica_id}:brd"
+        )
 
         # Round state.
         self.operations: Dict[int, OperationsBundle] = {}
         self._round_state = _RoundState(round_number=self.round_number, started_at=0.0)
+        #: ``(cluster_id, round)`` keys of LocalShares accepted from peers —
+        #: a later-indexed Inter receiver skips its own re-broadcast when the
+        #: first-indexed receiver's share already arrived (see
+        #: ``HamavaConfig.inter_share_grace``).
+        self._peer_shared: Set[Tuple[int, int]] = set()
         self._previous_bundle: Optional[OperationsBundle] = None
         self._tob_decisions: Dict[int, Decision] = {}
         self._buffered_shares: Dict[int, List[Tuple[str, Envelope]]] = {}
@@ -336,6 +350,9 @@ class HamavaReplica(Process):
     def _start_round(self) -> None:
         self._round_state = _RoundState(round_number=self.round_number, started_at=self.now)
         self.operations = {}
+        if self._peer_shared:
+            horizon = self.round_number - 1
+            self._peer_shared = {key for key in self._peer_shared if key[1] >= horizon}
         self.rlc.start_round()
         self._create_brd()
         self.tob.start_instance(self.round_number)
@@ -369,6 +386,7 @@ class HamavaReplica(Process):
                 rn, recs, proof, cert
             ),
             on_complain=self._complain,
+            timer_pool=self._brd_timer_pool,
         )
         self._brd_instances[round_number] = brd
         # Garbage-collect instances older than the previous round.
@@ -421,12 +439,45 @@ class HamavaReplica(Process):
             return
         state.local_transactions = list(decision.value)
         state.local_txn_certificate = decision.certificate
-        # Stage 1b (dissemination): submit our collected reconfiguration set.
+        # Stage 1b (dissemination): submit our collected reconfiguration set
+        # (a no-op beyond arming the timer when it already rode this view's
+        # commit vote as a round marker), and — as the leader — aggregate
+        # whatever quorum the markers collected (quiet proofs were already
+        # taken at the decide broadcast; this covers mixed rounds and
+        # engines without a decide message).
         if self.config.parallel_reconfig:
-            self._brd_instances[self.round_number].broadcast(self.collector.current_recs())
+            brd = self._brd_instances[self.round_number]
+            brd.broadcast(self.collector.current_recs())
+            if self.is_leader():
+                brd.flush_aggregate()
         else:
             self._on_brd_deliver(self.round_number, (), None, None)
         self._maybe_finish_stage1()
+
+    # -- BRD <-> consensus piggyback (quiet rounds; see core/brd.py) ------ #
+    def _brd_round_marker(self, sequence: int):
+        if not self.config.parallel_reconfig:
+            return None
+        brd = self._brd_instances.get(sequence)
+        if brd is None:
+            return None
+        return brd.make_marker(self.collector.current_recs())
+
+    def _on_brd_round_marker(self, sequence: int, sender: str, marker) -> None:
+        brd = self._brd_instances.get(sequence)
+        if brd is not None:
+            brd.on_marker(sender, marker)
+
+    def _brd_decide_extra(self, sequence: int):
+        if not self.config.parallel_reconfig:
+            return None
+        brd = self._brd_instances.get(sequence)
+        return None if brd is None else brd.take_quiet_proof()
+
+    def _on_brd_decide_extra(self, sequence: int, sender: str, extra) -> None:
+        brd = self._brd_instances.get(sequence)
+        if brd is not None:
+            brd.on_quiet_aggregate(sender, extra)
 
     # ------------------------------------------------------------------ #
     # Stage 1b: reconfiguration dissemination
@@ -540,15 +591,39 @@ class HamavaReplica(Process):
             return
         if not self._bundle_valid(message.cluster_id, message.round_number, message.bundle):
             return
-        self.abeb.broadcast(
-            LocalShare(
-                round_number=message.round_number,
-                cluster_id=message.cluster_id,
-                bundle=message.bundle,
-            )
+        share = LocalShare(
+            round_number=message.round_number,
+            cluster_id=message.cluster_id,
+            bundle=message.bundle,
         )
+        targets = self.local_members()[: self.local_faults() + 1]
+        if self.process_id in targets and targets.index(self.process_id) > 0:
+            # Staggered redundancy: adopt the bundle at once (a share to
+            # self, 0 ms loop-back), but give the first-indexed receiver a
+            # grace period to disseminate before re-broadcasting ourselves.
+            key = (message.cluster_id, message.round_number)
+            if key in self._peer_shared:
+                return
+            self.apl.send(self.process_id, share)
+            self.simulator.schedule(
+                self.config.inter_share_grace,
+                self._share_grace_expired,
+                arg=share,
+                label=f"{self.process_id}:share-grace",
+            )
+            return
+        self.abeb.broadcast(share)
+
+    def _share_grace_expired(self, share: LocalShare) -> None:
+        if self.mode != MODE_ACTIVE or self.crashed:
+            return
+        if (share.cluster_id, share.round_number) in self._peer_shared:
+            return  # the first-indexed receiver's broadcast made it; stay quiet
+        self.abeb.broadcast(share)
 
     def _on_local_share(self, sender: str, message: LocalShare) -> None:
+        if sender != self.process_id:
+            self._peer_shared.add((message.cluster_id, message.round_number))
         if message.round_number < self.round_number:
             return
         if message.round_number > self.round_number:
@@ -633,7 +708,10 @@ class HamavaReplica(Process):
             self.apl.send(
                 transaction.client_id,
                 ClientResponse(
-                    txn_id=transaction.txn_id, value=value, committed_round=self.round_number
+                    txn_id=transaction.txn_id,
+                    value=value,
+                    committed_round=self.round_number,
+                    leader_hint=self.leader,
                 ),
             )
 
@@ -727,9 +805,13 @@ class HamavaReplica(Process):
             self._inter_broadcast(state.bundle)
         if self._previous_bundle is not None:
             self._inter_broadcast(self._previous_bundle)
-        if state.local_transactions is None and self.round_number not in self._proposed_rounds:
-            # The old leader never completed local ordering; propose ourselves.
-            self._batch_timer.start(self.config.batch_timeout)
+        # When the old leader never completed local ordering, the engine's
+        # own view-change recovery re-proposes: every replica reports its
+        # pending instances to us, and a quorum of reports yields either a
+        # prepared value or a fresh batch via ``fetch_value``.  (A separate
+        # batch-timer re-propose here used to race that recovery and
+        # self-equivocate — see the one-proposal-per-view note in the
+        # engines' ``propose``.)
 
     # ------------------------------------------------------------------ #
     # Client transactions
@@ -772,6 +854,7 @@ class HamavaReplica(Process):
                     txn_id=transaction.txn_id,
                     value=self.kv.read(transaction.key),
                     committed_round=self.round_number,
+                    leader_hint=self.leader,
                 ),
             )
             return
@@ -914,6 +997,11 @@ class HamavaReplica(Process):
             self.tob.on_message(sender, envelope)
         elif isinstance(payload, ByzantineReliableDissemination.MESSAGE_TYPES):
             self._dispatch_brd(sender, envelope)
+
+    def _on_brd_timer(self, round_number: int) -> None:
+        brd = self._brd_instances.get(round_number)
+        if brd is not None:
+            brd._on_timeout()
 
     def _dispatch_brd(self, sender: str, envelope: Envelope) -> None:
         round_number = envelope.payload.round_number

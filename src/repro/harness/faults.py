@@ -13,16 +13,54 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.config import failure_threshold
-from repro.core.replica import MODE_IDLE
+from repro.core.replica import MODE_ACTIVE, MODE_IDLE
 from repro.harness.deployment import Deployment
 
 
 class FaultInjector:
-    """Schedules faults against a deployment before (or while) it runs."""
+    """Schedules faults against a deployment before (or while) it runs.
+
+    Cluster-scoped faults (leader crashes, non-leader crashes, Byzantine
+    leader switches) resolve membership and leadership **when the fault
+    fires**, not when it is scheduled: a leader elected — or a replica that
+    joined — between scheduling and ``at_time`` is targeted like any seed
+    member.  The returned replica ids are the best-known candidates at
+    scheduling time (they coincide with the fire-time resolution unless the
+    cluster reconfigures in between), kept for assertion convenience.
+    """
 
     def __init__(self, deployment: Deployment) -> None:
         self.deployment = deployment
         self.injected: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # Live resolution helpers
+    # ------------------------------------------------------------------ #
+    def _cluster_state(self, cluster_id: int):
+        """Current ``(members, leader)`` of a cluster, resolved live.
+
+        Reads the lowest-id live member's view — the same source replicas
+        use — so joiners count and departed replicas do not; falls back to
+        the initial configuration while no member is up (pre-start).
+        """
+        deployment = self.deployment
+        candidates = sorted(
+            (
+                replica
+                for replica in deployment.replicas.values()
+                if replica.cluster_id == cluster_id
+                and replica.mode == MODE_ACTIVE
+                and not replica.crashed
+            ),
+            key=lambda replica: replica.process_id,
+        )
+        if candidates:
+            reporter = candidates[0]
+            members = sorted(reporter.view.get(cluster_id, ()))
+            if members:
+                return members, reporter.leader
+        members = sorted(deployment.system_config.members(cluster_id))
+        return members, members[0]
 
     # ------------------------------------------------------------------ #
     # Crash faults
@@ -35,22 +73,42 @@ class FaultInjector:
         )
         self.injected.append(f"crash {replica_id} @ {at_time}")
 
-    def crash_non_leaders(self, cluster_id: int, at_time: float, count: Optional[int] = None) -> List[str]:
-        """Crash up to ``f`` non-leader replicas of a cluster (E4.1)."""
-        members = sorted(self.deployment.system_config.members(cluster_id))
+    def _pick_non_leaders(self, cluster_id: int, count: Optional[int]) -> List[str]:
+        members, leader = self._cluster_state(cluster_id)
         faults = failure_threshold(len(members))
         count = faults if count is None else min(count, faults)
-        leader = self.deployment.replicas[members[0]].leader
-        victims = [m for m in members if m != leader][-count:] if count else []
-        for victim in victims:
-            self.crash_replica(victim, at_time)
+        return [m for m in members if m != leader][-count:] if count else []
+
+    def crash_non_leaders(self, cluster_id: int, at_time: float, count: Optional[int] = None) -> List[str]:
+        """Crash up to ``f`` non-leader replicas of a cluster (E4.1)."""
+
+        def _crash_current() -> None:
+            for victim in self._pick_non_leaders(cluster_id, count):
+                replica = self.deployment.replicas.get(victim)
+                if replica is not None:
+                    replica.crash()
+
+        self.deployment.simulator.schedule_at(
+            at_time, _crash_current, label=f"fault:crash-followers:c{cluster_id}"
+        )
+        victims = self._pick_non_leaders(cluster_id, count)
+        self.injected.append(f"crash-followers c{cluster_id} ({victims}) @ {at_time}")
         return victims
 
     def crash_leader(self, cluster_id: int, at_time: float) -> str:
-        """Crash the current leader of a cluster (E4.2)."""
-        members = sorted(self.deployment.system_config.members(cluster_id))
-        leader = self.deployment.replicas[members[0]].leader
-        self.crash_replica(leader, at_time)
+        """Crash the replica leading the cluster *at the fault time* (E4.2)."""
+
+        def _crash_current() -> None:
+            _, leader = self._cluster_state(cluster_id)
+            replica = self.deployment.replicas.get(leader)
+            if replica is not None:
+                replica.crash()
+
+        self.deployment.simulator.schedule_at(
+            at_time, _crash_current, label=f"fault:crash-leader:c{cluster_id}"
+        )
+        _, leader = self._cluster_state(cluster_id)
+        self.injected.append(f"crash-leader c{cluster_id} ({leader}) @ {at_time}")
         return leader
 
     # ------------------------------------------------------------------ #
@@ -61,13 +119,21 @@ class FaultInjector:
 
         The leader keeps participating correctly in local ordering, so only
         remote clusters can detect the fault — exactly the scenario the
-        heterogeneous remote leader change protocol exists for.
+        heterogeneous remote leader change protocol exists for.  The switch
+        is flipped on whichever replica leads the cluster at ``at_time``.
         """
-        members = sorted(self.deployment.system_config.members(cluster_id))
-        leader_id = self.deployment.replicas[members[0]].leader
-        leader = self.deployment.replica(leader_id)
-        leader.byzantine.silent_inter_after = at_time
-        self.injected.append(f"silent-inter {leader_id} @ {at_time}")
+
+        def _silence_current() -> None:
+            _, leader = self._cluster_state(cluster_id)
+            replica = self.deployment.replicas.get(leader)
+            if replica is not None:
+                replica.byzantine.silent_inter_after = at_time
+
+        self.deployment.simulator.schedule_at(
+            at_time, _silence_current, label=f"fault:silent-inter:c{cluster_id}"
+        )
+        _, leader_id = self._cluster_state(cluster_id)
+        self.injected.append(f"silent-inter c{cluster_id} ({leader_id}) @ {at_time}")
         return leader_id
 
     def partition_clusters(self, cluster_a: int, cluster_b: int, at_time: float, duration: float) -> None:

@@ -213,9 +213,13 @@ class MetricsCollector:
             end = start + bucket
             # Half-open buckets [start, end): bisect_left on both bounds keeps
             # a completion landing exactly on a bucket boundary in the later
-            # bucket instead of dropping it.
+            # bucket instead of dropping it.  When ``until`` truncates the
+            # final bucket, normalise by the covered width — dividing a
+            # fractional bucket's count by the full width under-reported its
+            # rate (a 0.5 s tail at a steady 100 ops/s printed 50 ops/s).
+            width = bucket if end <= horizon else horizon - start
             count = bisect_left(times, end) - bisect_left(times, start)
-            series.append((start, count / bucket))
+            series.append((start, count / width))
             start = end
         return series
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import traceback
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -32,6 +33,11 @@ class ResultRow:
     wire link latency in milliseconds (``link_latency_mean_ms``, which
     excludes 0 ms self-deliveries by construction — they never traverse the
     latency model).
+
+    ``error`` is ``None`` for successful runs; when a scenario crashes
+    (build or simulation), the runner returns a zeroed row carrying the
+    seed and the worker traceback here instead of hanging the grid or
+    silently dropping the data point.
     """
 
     scenario: str
@@ -53,6 +59,7 @@ class ResultRow:
     stages: Optional[Dict[str, float]] = None
     series: Optional[List[List[float]]] = None
     network: Optional[Dict[str, float]] = None
+    error: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-serializable description of this row (covers every field)."""
@@ -110,9 +117,62 @@ def run_scenario(spec: ScenarioSpec) -> ResultRow:
     )
 
 
+def failed_row(spec: ScenarioSpec, error: str) -> ResultRow:
+    """A zeroed row reporting a crashed (scenario, seed) data point."""
+    return ResultRow(
+        scenario=spec.name,
+        seed=spec.seed,
+        engine=spec.engine,
+        preset=spec.preset,
+        throughput=0.0,
+        throughput_reads=0.0,
+        throughput_writes=0.0,
+        latency_mean=0.0,
+        latency_read=0.0,
+        latency_write=0.0,
+        latency_p99=0.0,
+        operations=0,
+        rounds=0,
+        reconfigs_applied=0,
+        joins_completed=0,
+        labels=dict(spec.labels),
+        error=error,
+    )
+
+
+def run_scenario_safe(spec: ScenarioSpec) -> ResultRow:
+    """Run one spec; a crash becomes a :func:`failed_row` instead of raising.
+
+    Used by the grid paths (serial and pool) so one bad (scenario, seed)
+    pair cannot take down — or silently vanish from — a whole sweep, and so
+    the parallel and serial paths stay row-for-row identical.
+    """
+    try:
+        return run_scenario(spec)
+    except Exception:  # noqa: BLE001 - the traceback is the payload
+        return failed_row(
+            spec,
+            f"seed {spec.seed}: worker raised\n{traceback.format_exc()}",
+        )
+
+
 def _run_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Pool worker: rebuild the spec from plain data, run, return plain data."""
-    return run_scenario(ScenarioSpec.from_dict(payload)).to_dict()
+    """Pool worker: rebuild the spec from plain data, run, return plain data.
+
+    Exceptions are captured *inside* the worker: an exception propagating
+    out of ``Pool.map`` aborts every other seed in the batch, and losing
+    the traceback to a pickling error can hang the pool teardown.
+    """
+    try:
+        spec = ScenarioSpec.from_dict(payload)
+    except Exception:  # noqa: BLE001
+        stub = ScenarioSpec(
+            name=str(payload.get("name", "<unparseable>")),
+            clusters=[(1, "us-west1")],
+            seed=int(payload.get("seed", 0) or 0),
+        )
+        return failed_row(stub, f"spec rebuild failed\n{traceback.format_exc()}").to_dict()
+    return run_scenario_safe(spec).to_dict()
 
 
 ScenarioLike = Union[ScenarioSpec, "Scenario"]  # noqa: F821 - builder import is lazy
@@ -184,8 +244,9 @@ class ScenarioRunner:
             # Run the original specs directly: no serialization detour, so
             # e.g. non-importable replica classes work in-process.  Rows are
             # still byte-identical to the pool path because ResultRow
-            # survives to_dict()/from_dict() losslessly.
-            return [run_scenario(spec) for spec in specs]
+            # survives to_dict()/from_dict() losslessly — including failed
+            # rows, which surface the crash per seed on both paths.
+            return [run_scenario_safe(spec) for spec in specs]
         payloads = [spec.to_dict() for spec in specs]
         context = multiprocessing.get_context(self.mp_context)
         with context.Pool(processes=min(self.workers, len(payloads))) as pool:
@@ -209,4 +270,4 @@ class ScenarioRunner:
             return [ResultRow.from_dict(payload) for payload in json.load(handle)]
 
 
-__all__ = ["ResultRow", "ScenarioRunner", "run_scenario"]
+__all__ = ["ResultRow", "ScenarioRunner", "failed_row", "run_scenario", "run_scenario_safe"]

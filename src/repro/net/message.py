@@ -65,8 +65,12 @@ def _compile_digest_fn(cls: type, names: Tuple[str, ...]):
     ``s<digits>``.  Unlike ``repr``-quoting this never copies the content
     (value digests run to kilobytes), so two distinct messages cannot
     share a digest — and therefore a signature — by boundary aliasing.
-    Other values go through the ``payload_digest`` dispatch (inlined), so
-    nested digest-bearing values answer from their caches.
+    ``int`` fields (cluster ids, rounds, views, sequence numbers — the bulk
+    of every protocol message) and ``None`` short-circuit straight to their
+    repr, skipping the per-value method-dispatch probe; exact ``int`` keys
+    cannot be digest-bearing, so the fast path loses nothing.  Other values
+    go through the ``payload_digest`` dispatch (inlined), so nested
+    digest-bearing values answer from their caches.
     """
     lines = [
         "def compiled(self, _methods, _repr, _getattr, _callable):",
@@ -79,6 +83,10 @@ def _compile_digest_fn(cls: type, names: Tuple[str, ...]):
             "    if v.__class__ is str:",
             "        ap('s%d' % len(v))",
             "        ap(v)",
+            "    elif v.__class__ is int:",
+            "        ap(_repr(v))",
+            "    elif v is None:",
+            "        ap('None')",
             "    else:",
             "        m = _methods.get(v.__class__)",
             "        if m is None:",

@@ -80,6 +80,133 @@ class Timer:
         self.callback()
 
 
+class DeadlinePool:
+    """Many logical timers sharing one resident kernel event.
+
+    The lazy-deadline pattern the workload clients' retry watchdogs use,
+    generalised: arming a timer is a dict write recording its deadline, and
+    a single resident event chases the earliest recorded deadline.  When it
+    fires, every key whose deadline has passed is popped and reported to
+    ``callback(key)``; the event then re-chases the new minimum.  Disarming
+    is a dict pop — the resident event discovers the change lazily.
+
+    This replaces the schedule+cancel pair that per-instance protocol timers
+    (consensus leader watchdogs, BRD delivery timers) paid every round —
+    thousands of heap operations per simulated second for timers that
+    almost never fire — with plain dict traffic.  The heap only sees one
+    entry per pool plus the rare re-chase.
+
+    Args:
+        simulator: The owning simulation kernel.
+        callback: ``(key) -> None`` invoked when a key's deadline passes.
+            The callback may re-arm the same key or arm others.
+        name: Label stem for the resident event.
+    """
+
+    __slots__ = ("_simulator", "_callback", "_label", "_deadlines", "_event")
+
+    def __init__(self, simulator: "Simulator", callback: Callable, name: str = "") -> None:
+        self._simulator = simulator
+        self._callback = callback
+        self._label = f"pool:{name}"
+        self._deadlines: dict = {}
+        self._event: Optional[Event] = None
+
+    def arm(self, key, duration: float) -> None:
+        """(Re)arm ``key`` to fire ``duration`` from now."""
+        deadline = self._simulator.now + duration
+        self._deadlines[key] = deadline
+        event = self._event
+        if event is None or event.cancelled:
+            self._event = self._simulator.schedule(duration, self._fire, 0, self._label)
+        elif deadline < event.time:
+            # Rare: the new deadline undercuts the resident event (a shorter
+            # timeout armed mid-flight).  Re-chase eagerly so it fires on time.
+            event.cancel()
+            self._simulator.notify_cancel()
+            self._event = self._simulator.schedule(duration, self._fire, 0, self._label)
+
+    def disarm(self, key) -> None:
+        """Disarm ``key`` if armed (the resident event re-chases lazily)."""
+        self._deadlines.pop(key, None)
+
+    def pending(self, key) -> bool:
+        """Whether ``key`` is armed."""
+        return key in self._deadlines
+
+    def remaining(self, key) -> float:
+        """Virtual time left until ``key`` fires (0 if not armed)."""
+        deadline = self._deadlines.get(key)
+        if deadline is None:
+            return 0.0
+        return max(0.0, deadline - self._simulator.now)
+
+    def timer(self, key, duration: float = 0.0) -> "PooledTimer":
+        """A :class:`Timer`-shaped facade bound to one key of this pool."""
+        return PooledTimer(self, key, duration)
+
+    def _fire(self) -> None:
+        self._event = None
+        now = self._simulator.now
+        deadlines = self._deadlines
+        due = [key for key, deadline in deadlines.items() if deadline <= now]
+        for key in due:
+            # Re-check: an earlier callback may have re-armed or disarmed it.
+            deadline = deadlines.get(key)
+            if deadline is not None and deadline <= now:
+                del deadlines[key]
+                self._callback(key)
+        if deadlines:
+            head = min(deadlines.values())
+            event = self._event
+            if event is None or event.cancelled or event.time > head:
+                if event is not None and not event.cancelled:
+                    event.cancel()
+                    self._simulator.notify_cancel()
+                self._event = self._simulator.schedule(
+                    max(0.0, head - now), self._fire, 0, self._label
+                )
+
+
+class PooledTimer:
+    """One :class:`DeadlinePool` key wearing the :class:`Timer` interface.
+
+    Lets components written against ``Timer`` (start/stop/pending) share a
+    pool without changing their call sites; the pool owner routes the pool's
+    callback back to the component.
+    """
+
+    __slots__ = ("_pool", "_key", "duration")
+
+    def __init__(self, pool: DeadlinePool, key, duration: float = 0.0) -> None:
+        self._pool = pool
+        self._key = key
+        self.duration = duration
+
+    @property
+    def pending(self) -> bool:
+        """Whether the timer is armed."""
+        return self._pool.pending(self._key)
+
+    def start(self, duration: Optional[float] = None) -> None:
+        """Arm (or re-arm) the timer."""
+        if duration is not None:
+            self.duration = duration
+        self._pool.arm(self._key, self.duration)
+
+    def reset(self, duration: Optional[float] = None) -> None:
+        """Alias for :meth:`start`."""
+        self.start(duration)
+
+    def stop(self) -> None:
+        """Disarm the timer."""
+        self._pool.disarm(self._key)
+
+    def remaining(self) -> float:
+        """Virtual time left until the timer fires (0 if not armed)."""
+        return self._pool.remaining(self._key)
+
+
 class Simulator:
     """Deterministic discrete-event loop with a virtual clock.
 
@@ -190,6 +317,10 @@ class Simulator:
     def timer(self, duration: float, callback: Callable[[], None], name: str = "") -> Timer:
         """Create a (not yet started) :class:`Timer`."""
         return Timer(self, duration, callback, name=name)
+
+    def deadline_pool(self, callback: Callable, name: str = "") -> DeadlinePool:
+        """Create a :class:`DeadlinePool` bound to this simulator."""
+        return DeadlinePool(self, callback, name=name)
 
     def notify_cancel(self) -> None:
         """Inform the queue that a previously scheduled event was cancelled."""
@@ -324,4 +455,4 @@ class Simulator:
         self.run(until=self.now + duration, max_events=max_events)
 
 
-__all__ = ["Simulator", "Timer"]
+__all__ = ["DeadlinePool", "PooledTimer", "Simulator", "Timer"]

@@ -34,6 +34,9 @@ class _Thread:
     outstanding_txn: Optional[Transaction] = None
     submitted_at: float = 0.0
     completed: int = 0
+    #: Replica the outstanding request was last sent to (original target or
+    #: the latest retry target) — the one a non-answer incriminates.
+    awaiting: Optional[str] = None
     #: The resident retry watchdog event.  One event per thread, re-armed
     #: lazily: arming just records the deadline (deadlines only move
     #: forward, so the pending event can never be too late), and the event
@@ -88,6 +91,13 @@ class WorkloadClient(Process):
         #: Replicas that timed out recently; skipped while alternatives exist
         #: (real YCSB clients likewise stop talking to unresponsive servers).
         self._suspected: set = set()
+        #: The cluster leader as last reported by a response's
+        #: ``leader_hint``.  Writes are routed straight to it (standard BFT
+        #: client behaviour — the primary orders them anyway, so the
+        #: round-robin detour just adds a forward hop); reads stay
+        #: round-robin so local reads keep load-balancing across replicas.
+        self._leader_hint: str = ""
+        self._target_set = set(self.target_replicas)
         self.completed_reads = 0
         self.completed_writes = 0
 
@@ -121,7 +131,11 @@ class WorkloadClient(Process):
         if self.crashed or self.apl is None:
             return
         op, key, value = self.workload.next_operation()
-        target = self._next_target()
+        hint = self._leader_hint
+        if op != "read" and hint and hint not in self._suspected:
+            target = hint
+        else:
+            target = self._next_target()
         transaction = make_transaction(
             client_id=self.process_id,
             origin_replica=target,
@@ -133,6 +147,7 @@ class WorkloadClient(Process):
         )
         thread.outstanding_txn = transaction
         thread.submitted_at = self.now
+        thread.awaiting = target
         self._by_txn[transaction.txn_id] = thread
         self.apl.send(target, ClientRequest(transaction=transaction))
         self._arm_retry(thread, transaction)
@@ -175,10 +190,36 @@ class WorkloadClient(Process):
             return
         if thread.outstanding_txn is None or thread.outstanding_txn.txn_id != transaction.txn_id:
             return
-        # The request is still unanswered after the retry timeout; suspect the
-        # original replica and resend to a different one.
-        self._suspected.add(transaction.origin_replica)
+        # The request is still unanswered after the retry timeout; suspect
+        # whichever replica it was last sent to and re-route.
+        suspect = thread.awaiting or transaction.origin_replica
+        if suspect and suspect not in self._suspected:
+            self._suspect(suspect)  # re-routes this thread along with its peers
+        else:
+            self._resend(thread, transaction)
+
+    def _suspect(self, replica_id: str) -> None:
+        """Mark a replica unresponsive and re-route everything waiting on it.
+
+        Without the immediate re-route, each thread waiting on the same dead
+        replica serves out its *own* full retry timeout — and when several
+        adjacent round-robin targets die together (a leave burst), retries
+        hop from one dead target to the next, serialising whole multiples of
+        the timeout into the outage.
+        """
+        if replica_id in self._suspected:
+            return
+        self._suspected.add(replica_id)
+        if replica_id == self._leader_hint:
+            self._leader_hint = ""  # a silent leader hint is stale
+        for thread in self.threads:
+            transaction = thread.outstanding_txn
+            if transaction is not None and thread.awaiting == replica_id:
+                self._resend(thread, transaction)
+
+    def _resend(self, thread: _Thread, transaction: Transaction) -> None:
         target = self._next_target()
+        thread.awaiting = target
         self.apl.send(target, ClientRequest(transaction=transaction))
         self._arm_retry(thread, transaction)
 
@@ -194,6 +235,14 @@ class WorkloadClient(Process):
             return
         if thread.outstanding_txn.txn_id != payload.txn_id:
             return
+        if self._suspected:
+            self._suspected.discard(sender)  # a responding replica is not dead
+        hint = payload.leader_hint
+        if hint and hint in self._target_set and hint not in self._suspected:
+            # A suspected replica is only rehabilitated by answering us
+            # itself (the discard above) — a third party's stale hint must
+            # not send writes back to a leader we just timed out on.
+            self._leader_hint = hint
         transaction = thread.outstanding_txn
         latency = self.now - thread.submitted_at
         thread.outstanding_txn = None

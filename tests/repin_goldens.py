@@ -54,7 +54,11 @@ def compute_goldens() -> dict:
     snapshot = stats.snapshot()
     delivered = snapshot["messages_delivered"] + snapshot["loopback_messages"]
     events = deployment.simulator.events_processed
+    operations = metrics.committed_count()
     return {
+        "wire_messages_per_committed_op": (
+            snapshot["messages_sent"] / operations if operations else 0.0
+        ),
         "scenario": {
             "name": spec.name,
             "clusters": [list(cluster) for cluster in spec.clusters],
