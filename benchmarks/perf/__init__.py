@@ -1,6 +1,6 @@
 """Performance benchmark suite: the repo's perf trajectory lives here.
 
-Five layers, mirroring how the hot path composes:
+Six layers, mirroring how the hot path composes:
 
 * :mod:`benchmarks.perf.kernel_bench` — the event kernel alone
   (schedule/fire throughput and timer-churn behaviour of
@@ -12,7 +12,14 @@ Five layers, mirroring how the hot path composes:
 * :mod:`benchmarks.perf.workload_bench` — client-side operation generation
   (Zipfian key choice, YCSB op synthesis),
 * :mod:`benchmarks.perf.macro_bench` — an E0-style end-to-end scenario
-  (full consensus stack), the number that ultimately matters.
+  (full consensus stack), the number that ultimately matters,
+* :mod:`benchmarks.perf.population_bench` — the same E0 shape driven by the
+  open-loop client-population model (aggregate arrival streams, read
+  leases) instead of closed-loop threads.
+
+:mod:`benchmarks.perf.ab` adds a paired same-window A/B mode on top
+(``--ab``): two arms run interleaved so machine drift hits both equally,
+reported as mean ± spread.
 
 ``python -m benchmarks.perf`` runs them and writes ``BENCH_perf.json`` at
 the repo root, next to the pre-optimisation baseline recorded in

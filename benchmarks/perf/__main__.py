@@ -13,7 +13,10 @@ host-variance caveat.  This is what CI's ``perf-smoke`` job runs.
 
 Flags:
     --quick        ~10x smaller workloads (CI smoke); the probe is unaffected.
-    --only NAMES   comma-separated subset: kernel,network,replica,workload,macro.
+    --only NAMES   comma-separated subset:
+                   kernel,network,replica,workload,macro,population.
+    --ab PAIR      paired same-window A/B comparison (interleaved arms,
+                   mean ± spread); see benchmarks/perf/ab.py.
     --output PATH  where to write the JSON (default: <repo>/BENCH_perf.json).
     --compare OLD  after running, print per-bench speedups vs a prior
                    BENCH_perf.json (the perf trajectory in one command) and
@@ -37,11 +40,13 @@ from benchmarks.perf import REPO_ROOT, ensure_importable
 ensure_importable()
 
 from benchmarks.perf import (  # noqa: E402
+    ab,
     baseline,
     determinism,
     kernel_bench,
     macro_bench,
     network_bench,
+    population_bench,
     replica_bench,
     workload_bench,
 )
@@ -52,6 +57,7 @@ _SUITES = {
     "replica": replica_bench.run,
     "workload": workload_bench.run,
     "macro": macro_bench.run,
+    "population": population_bench.run,
 }
 
 
@@ -75,7 +81,26 @@ def main(argv=None) -> int:
         metavar="NEW_JSON",
         help="with --compare: skip running and diff this results file against OLD_JSON",
     )
+    parser.add_argument(
+        "--ab",
+        default="",
+        metavar="PAIR",
+        help="run a paired same-window A/B comparison (interleaved arms, "
+             f"mean ± spread) instead of the suites; one of {','.join(ab.PAIRS)} or 'all'",
+    )
     args = parser.parse_args(argv)
+
+    if args.ab:
+        names = list(ab.PAIRS) if args.ab == "all" else [args.ab]
+        unknown = sorted(set(names) - set(ab.PAIRS))
+        if unknown:
+            parser.error(f"unknown A/B pair(s) {unknown}; choose from {sorted(ab.PAIRS)} or 'all'")
+        duration = 1.0 if args.quick else 2.0
+        for name in names:
+            print(f"[perf] running A/B pair {name}{' (quick)' if args.quick else ''}...", flush=True)
+            for line in ab.format_report(ab.run_pair(name, duration=duration)):
+                print(line)
+        return 0
 
     if args.against and not args.compare:
         parser.error("--against requires --compare")

@@ -1,0 +1,185 @@
+"""Paired same-window A/B benchmarking: interleaved arms, mean ± spread.
+
+Back-to-back benchmark runs answer "is B faster than A?" badly: the machine's
+mood (thermal state, cache residency, background load) drifts between the two
+blocks, and whichever arm ran second inherits the drift.  This module runs
+the two arms *interleaved* — A B A B ... — so both sample the same window of
+machine conditions, and reports each arm's headline as mean ± sample
+standard deviation instead of a single best-of number.  A difference smaller
+than the spread is noise, and the report says so.
+
+Pairs are registered in :data:`PAIRS`; run one with::
+
+    PYTHONPATH=src python -m benchmarks.perf --ab closed_open
+
+The comparison is informational (wall-clock never gates, per the
+host-variance caveat in the README) — but each iteration's deterministic
+outputs are fingerprinted, and a same-seed mismatch within an arm raises.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.harness.builder import Scenario
+
+
+def _closed_spec(duration: float, seed: int):
+    return (
+        Scenario("ab-closed")
+        .clusters(4, 4)
+        .engine("hotstuff")
+        .threads(8)
+        .duration(duration, warmup=0.25)
+        .seeds(seed)
+        .spec()
+    )
+
+
+def _open_spec(duration: float, seed: int):
+    return (
+        Scenario("ab-open")
+        .clusters(4, 4)
+        .engine("hotstuff")
+        .open_loop(preset="steady")
+        .duration(duration, warmup=0.25)
+        .seeds(seed)
+        .spec()
+    )
+
+
+def _open_leases_spec(duration: float, seed: int):
+    return (
+        Scenario("ab-open-leases")
+        .clusters(4, 4)
+        .engine("hotstuff")
+        .open_loop(preset="steady")
+        .read_leases(True)
+        .duration(duration, warmup=0.25)
+        .seeds(seed)
+        .spec()
+    )
+
+
+#: name -> ((label_a, spec_factory_a), (label_b, spec_factory_b)).
+PAIRS: Dict[str, Tuple[Tuple[str, Callable], Tuple[str, Callable]]] = {
+    "closed_open": (
+        ("closed-loop ycsb", _closed_spec),
+        ("open-loop population", _open_spec),
+    ),
+    "leases": (
+        ("open-loop, no leases", _open_spec),
+        ("open-loop + read leases", _open_leases_spec),
+    ),
+}
+
+
+def _run_once(spec_factory: Callable, duration: float, seed: int) -> Dict[str, float]:
+    spec = spec_factory(duration, seed)
+    deployment = spec.build()
+    started = time.perf_counter()
+    metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+    elapsed = time.perf_counter() - started
+    operations = metrics.committed_count()
+    return {
+        "wall_s": elapsed,
+        "operations": float(operations),
+        "ops_per_sec": operations / elapsed,
+        "events": float(deployment.simulator.events_processed),
+        "wire_messages": float(deployment.network.stats.messages_sent),
+    }
+
+
+def _mean_std(values: List[float]) -> Tuple[float, float]:
+    mean = sum(values) / len(values)
+    if len(values) < 2:
+        return mean, 0.0
+    variance = sum((value - mean) ** 2 for value in values) / (len(values) - 1)
+    return mean, math.sqrt(variance)
+
+
+def run_pair(
+    name: str, duration: float = 2.0, seed: int = 11, repeats: int = 3
+) -> Dict[str, object]:
+    """Run one registered pair interleaved; return per-arm mean ± spread.
+
+    Each arm runs ``repeats`` iterations, strictly alternating A B A B ...
+    Deterministic outputs (operations, events, wire messages) must repeat
+    exactly within an arm — a mismatch raises rather than averaging away a
+    determinism bug.
+    """
+    if name not in PAIRS:
+        raise KeyError(f"unknown A/B pair {name!r}; choose from {sorted(PAIRS)}")
+    (label_a, spec_a), (label_b, spec_b) = PAIRS[name]
+    samples: Dict[str, List[Dict[str, float]]] = {"a": [], "b": []}
+    for _ in range(repeats):
+        samples["a"].append(_run_once(spec_a, duration, seed))
+        samples["b"].append(_run_once(spec_b, duration, seed))
+    arms: Dict[str, Dict[str, float]] = {}
+    for arm, label in (("a", label_a), ("b", label_b)):
+        runs = samples[arm]
+        deterministic = {(r["operations"], r["events"], r["wire_messages"]) for r in runs}
+        if len(deterministic) != 1:
+            raise RuntimeError(
+                f"A/B determinism failure in arm {label!r}: same-seed iterations "
+                f"disagreed on deterministic outputs {sorted(deterministic)}"
+            )
+        wall_mean, wall_std = _mean_std([r["wall_s"] for r in runs])
+        rate_mean, rate_std = _mean_std([r["ops_per_sec"] for r in runs])
+        arms[arm] = {
+            "label": label,
+            "repeats": float(repeats),
+            "operations": runs[0]["operations"],
+            "wire_messages": runs[0]["wire_messages"],
+            "wall_s_mean": wall_mean,
+            "wall_s_std": wall_std,
+            "ops_per_sec_mean": rate_mean,
+            "ops_per_sec_std": rate_std,
+        }
+    ratio = (
+        arms["b"]["ops_per_sec_mean"] / arms["a"]["ops_per_sec_mean"]
+        if arms["a"]["ops_per_sec_mean"]
+        else 0.0
+    )
+    # A difference is only meaningful when the arms' spreads do not overlap;
+    # the report carries the verdict so readers are not tempted to quote a
+    # ratio that is inside the noise.
+    separation = abs(arms["b"]["ops_per_sec_mean"] - arms["a"]["ops_per_sec_mean"])
+    noise = arms["a"]["ops_per_sec_std"] + arms["b"]["ops_per_sec_std"]
+    return {
+        "pair": name,
+        "sim_duration_s": duration,
+        "seed": seed,
+        "arms": arms,
+        "ops_per_sec_ratio": ratio,
+        "significant": separation > noise,
+    }
+
+
+def format_report(report: Dict[str, object]) -> List[str]:
+    """Render one pair's report as printable lines."""
+    arms = report["arms"]
+    lines = [f"[perf][ab] {report['pair']} (sim {report['sim_duration_s']}s, seed {report['seed']}):"]
+    for arm in ("a", "b"):
+        data = arms[arm]
+        lines.append(
+            f"[perf][ab]   {data['label']}: "
+            f"{data['ops_per_sec_mean']:,.0f} ± {data['ops_per_sec_std']:,.0f} ops/s "
+            f"(wall {data['wall_s_mean']:.3f} ± {data['wall_s_std']:.3f} s, "
+            f"{data['operations']:,.0f} ops)"
+        )
+    verdict = "significant" if report["significant"] else "within noise"
+    lines.append(
+        f"[perf][ab]   ratio (b/a): {report['ops_per_sec_ratio']:.2f}x  [{verdict}]"
+    )
+    return lines
+
+
+def run_all(duration: float = 2.0, seed: int = 11, repeats: int = 3) -> Dict[str, Dict[str, object]]:
+    """Run every registered pair."""
+    return {name: run_pair(name, duration=duration, seed=seed, repeats=repeats) for name in PAIRS}
+
+
+__all__ = ["PAIRS", "format_report", "run_all", "run_pair"]

@@ -77,6 +77,9 @@ HEADLINE_METRICS: Dict[str, str] = {
     "kernel_timer_churn": "resets_per_sec",
     "network_multicast": "messages_per_sec",
     "macro_e0": "ops_per_sec",
+    # Introduced with the open-loop population subsystem; no pre-optimisation
+    # baseline exists (the model is new), so only the absolute rate prints.
+    "population_open_loop": "ops_per_sec",
     "replica_bundle_accounting": "messages_per_sec",
     "replica_view_churn": "lookups_per_sec",
     "workload_zipf": "draws_per_sec",

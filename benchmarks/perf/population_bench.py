@@ -1,0 +1,84 @@
+"""Open-loop population benchmark: millions of simulated users, O(1) state.
+
+Runs the E0 shape (two four-replica clusters, HotStuff local ordering) under
+the open-loop :class:`~repro.workload.population.ClientPopulation` model with
+read leases enabled, and reports committed operations per wall second plus
+the open-loop-only numbers (offered load vs goodput, lease hit rate).
+
+Because the population model is new, the suite doubles as a determinism
+gate: the best-of-``repeats`` loop fingerprints every same-seed run and
+raises if two runs disagree — an open-loop scenario that is not bit-stable
+would silently invalidate the multi-seed statistics the runner reports.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.harness.builder import Scenario
+
+
+def _spec(duration: float, seed: int):
+    return (
+        Scenario("perf-population")
+        .clusters(4, 4)
+        .engine("hotstuff")
+        .open_loop(preset="steady")
+        .read_leases(True)
+        .duration(duration, warmup=0.25)
+        .seeds(seed)
+        .spec()
+    )
+
+
+def bench_open_loop(duration: float = 3.0, seed: int = 11, repeats: int = 2) -> Dict[str, float]:
+    """Run one open-loop deployment, best-of-``repeats``, determinism-checked."""
+    best = float("inf")
+    fingerprint = None
+    result: Dict[str, float] = {}
+    for _ in range(repeats):
+        spec = _spec(duration, seed)
+        deployment = spec.build()
+        started = time.perf_counter()
+        metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+        elapsed = time.perf_counter() - started
+        open_loop = metrics.open_loop_summary()
+        stats = [population.stats() for population in deployment.populations]
+        current = (
+            deployment.simulator.events_processed,
+            metrics.committed_count(),
+            deployment.network.stats.messages_sent,
+            tuple(sorted((key, value) for stat in stats for key, value in stat.items())),
+        )
+        if fingerprint is None:
+            fingerprint = current
+        elif current != fingerprint:
+            raise RuntimeError(
+                "open-loop determinism failure: two same-seed runs disagreed "
+                f"({fingerprint[:3]} vs {current[:3]})"
+            )
+        if elapsed < best:
+            best = elapsed
+            operations = metrics.committed_count()
+            result = {
+                "sim_duration_s": duration,
+                "wall_s": elapsed,
+                "events": float(deployment.simulator.events_processed),
+                "operations": float(operations),
+                "ops_per_sec": operations / elapsed,
+                "simulated_clients": float(sum(stat["clients"] for stat in stats)),
+                "offered": open_loop["offered"],
+                "goodput": open_loop["goodput"],
+                "lease_hit_rate": open_loop["lease_hit_rate"],
+                "wire_messages": float(deployment.network.stats.messages_sent),
+            }
+    return result
+
+
+def run(quick: bool = False) -> Dict[str, Dict[str, float]]:
+    """Run the open-loop workload; ``quick`` shrinks it for CI smoke runs."""
+    return {"population_open_loop": bench_open_loop(duration=1.0 if quick else 3.0)}
+
+
+__all__ = ["bench_open_loop", "run"]

@@ -42,7 +42,13 @@ from repro.harness.builder import DeploymentBuilder, Scenario
 from repro.harness.deployment import Deployment, DeploymentSpec, build_deployment
 from repro.harness.faults import FaultInjector
 from repro.harness.metrics import MetricsCollector
-from repro.harness.runner import ResultRow, ScenarioRunner, run_scenario
+from repro.harness.runner import (
+    AggregateRow,
+    ResultRow,
+    ScenarioRunner,
+    aggregate_rows,
+    run_scenario,
+)
 from repro.harness.scenario import (
     ByzantineEvent,
     ChurnLoop,
@@ -56,10 +62,14 @@ from repro.harness.scenario import (
 
 __version__ = "1.1.0"
 
+from repro.workload.population import ClientPopulation, PopulationConfig
+
 __all__ = [
+    "AggregateRow",
     "ByzantineBehavior",
     "ByzantineEvent",
     "ChurnLoop",
+    "ClientPopulation",
     "ClusterSpec",
     "CrashEvent",
     "Deployment",
@@ -72,6 +82,7 @@ __all__ = [
     "LeaveEvent",
     "MetricsCollector",
     "PartitionEvent",
+    "PopulationConfig",
     "ReconfigRequest",
     "ResultRow",
     "Scenario",
@@ -79,6 +90,7 @@ __all__ = [
     "ScenarioSpec",
     "SystemConfig",
     "Transaction",
+    "aggregate_rows",
     "build_deployment",
     "join_request",
     "leave_request",

@@ -77,6 +77,53 @@ class _Instance:
     commit_digest_cache: Optional[str] = None
 
 
+@dataclass
+class ReadLease:
+    """Leader-granted read-lease state held by one replica.
+
+    The lease lets a replica answer reads from its local store without
+    consulting the ordering protocol.  Safety rests on three rules the
+    grantor and holders enforce together:
+
+    1. A grant is only honoured while unexpired **and** issued by the
+       leader of the *current* view (``view_ts`` must match) — a holder
+       that installs a new leader drops old-view leases immediately.
+    2. The leader refreshes grants at half the lease duration, so a
+       correct leader's followers stay covered continuously; a leader that
+       stops refreshing silently revokes every lease within one duration.
+    3. A *new* leader withholds its first grant for one full lease
+       duration after taking office.  Writes only execute at the round
+       grain after consensus at the (new) leader, so by the time any
+       lease-covered read could race a new-leader write, every old-leader
+       lease has lapsed.
+
+    In the simulation all replicas share one exact virtual clock, so lease
+    expiry needs no clock-drift margin; a real deployment would subtract a
+    maximum drift bound from ``duration`` when checking validity.
+    """
+
+    duration: float = 2.0
+    expires_at: float = 0.0
+    view_ts: int = -1
+
+    def install(self, view_ts: int, granted_at: float, duration: float) -> None:
+        """Adopt a grant (keeps the latest expiry for the granting view)."""
+        if view_ts < self.view_ts:
+            return  # stale grant from a deposed leader
+        if view_ts > self.view_ts:
+            self.view_ts = view_ts
+            self.expires_at = 0.0
+        self.expires_at = max(self.expires_at, granted_at + duration)
+
+    def valid(self, now: float, current_view_ts: int) -> bool:
+        """Whether a read may be served locally right now."""
+        return self.view_ts == current_view_ts and now < self.expires_at
+
+    def revoke(self) -> None:
+        """Drop the lease (on leader change or suspicion)."""
+        self.expires_at = 0.0
+
+
 class TotalOrderBroadcast(ABC):
     """Common machinery for the HotStuff-like and PBFT-like engines.
 
@@ -317,4 +364,10 @@ class TotalOrderBroadcast(ABC):
         return [seq for seq, inst in self._instances.items() if not inst.decided]
 
 
-__all__ = ["ConsensusConfig", "Decision", "TotalOrderBroadcast", "commit_digest"]
+__all__ = [
+    "ConsensusConfig",
+    "Decision",
+    "ReadLease",
+    "TotalOrderBroadcast",
+    "commit_digest",
+]

@@ -169,6 +169,15 @@ class HamavaConfig:
             finishes, overlapping it with inter-cluster communication and
             execution.  Hamava keeps this off (its reconfiguration round
             barrier requires aligned rounds); the GeoBFT baseline turns it on.
+        read_leases: When ``True`` the cluster leader periodically grants
+            read leases (see :class:`~repro.core.messages.ReadLeaseGrant`);
+            lease-holding replicas answer batched reads locally without any
+            consensus involvement, and lease misses forward to the leader.
+            Off by default — the closed-loop paper-fidelity path is
+            unaffected unless a scenario opts in.
+        lease_duration: Lifetime of one read-lease grant in seconds.  Grants
+            refresh at half this period; a new leader stays silent for one
+            full duration so old-leader leases lapse before it writes.
     """
 
     engine: str = "hotstuff"
@@ -183,6 +192,8 @@ class HamavaConfig:
     inter_share_grace: float = 0.002
     retry_timeout: float = 60.0
     pipeline_local_ordering: bool = False
+    read_leases: bool = False
+    lease_duration: float = 2.0
 
     def with_engine(self, engine: str) -> "HamavaConfig":
         """A copy of this configuration using a different ordering engine."""

@@ -49,6 +49,60 @@ class ClientResponse(Message):
         return 192
 
 
+@dataclass
+class ClientBatchRequest(Message):
+    """An open-loop population submits one window's operations in one envelope.
+
+    Client-side batching: all operations that arrived within one batching
+    window and share a target replica travel as a single wire message, so
+    the client boundary costs O(windows) messages instead of O(operations).
+    """
+
+    transactions: Tuple[Transaction, ...] = ()
+
+    def estimated_size(self) -> int:
+        return 128 + sum(t.size_bytes for t in self.transactions)
+
+
+@dataclass
+class ClientBatchResponse(Message):
+    """A replica's batched responses to one population.
+
+    ``entries`` holds ``(txn_id, value)`` pairs — reads served immediately
+    (lease-covered or leader-local) and writes acknowledged when their
+    round executes, flushed once per execution instead of one envelope per
+    transaction.
+    """
+
+    entries: Tuple[Tuple[str, Optional[str]], ...] = ()
+    committed_round: int = 0
+    leader_hint: str = ""
+
+    def estimated_size(self) -> int:
+        return 128 + 64 * len(self.entries)
+
+
+@dataclass
+class ReadLeaseGrant(Message):
+    """The cluster leader's periodic read-lease grant to its replicas.
+
+    While a grant is live (``granted_at + duration`` in the future, same
+    ``view_ts`` as the current leader), a follower may answer batched reads
+    from its local store without consulting consensus: the leader promises
+    not to execute writes that contradict the lease-covered state until the
+    lease expires, and a new leader withholds its first grant for one full
+    lease duration so every old-leader lease lapses first.
+    """
+
+    cluster_id: int
+    view_ts: int
+    granted_at: float
+    duration: float
+
+    def estimated_size(self) -> int:
+        return 160
+
+
 # ---------------------------------------------------------------------- #
 # Stage 2: inter-cluster communication (Alg. 1)
 # ---------------------------------------------------------------------- #
@@ -291,6 +345,9 @@ class BrdValid(Message):
 CORE_MESSAGE_TYPES = (
     ClientRequest,
     ClientResponse,
+    ClientBatchRequest,
+    ClientBatchResponse,
+    ReadLeaseGrant,
     Inter,
     LocalShare,
     LComplaint,
@@ -315,8 +372,11 @@ __all__ = [
     "BrdReady",
     "BrdSubmit",
     "BrdValid",
+    "ClientBatchRequest",
+    "ClientBatchResponse",
     "ClientRequest",
     "ClientResponse",
+    "ReadLeaseGrant",
     "ClusterComplaint",
     "CORE_MESSAGE_TYPES",
     "CurrState",

@@ -26,12 +26,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
-from repro.consensus.interface import Decision, commit_digest
+from repro.consensus.interface import Decision, ReadLease, commit_digest
 from repro.consensus.leader_election import ElectionComplaint, LeaderElection
 from repro.consensus.registry import make_engine
 from repro.core.brd import ByzantineReliableDissemination, canonical_recs, ready_digest
 from repro.core.config import HamavaConfig, SystemConfig, failure_threshold
 from repro.core.messages import (
+    ClientBatchRequest,
+    ClientBatchResponse,
     ClientRequest,
     ClientResponse,
     ClusterComplaint,
@@ -40,6 +42,7 @@ from repro.core.messages import (
     LComplaint,
     LocalShare,
     RComplaint,
+    ReadLeaseGrant,
     ReconfigAck,
     RequestJoin,
     RequestLeave,
@@ -246,6 +249,19 @@ class HamavaReplica(Process):
         self._current_batch: Dict[int, List[Transaction]] = {}
         self._batch_timer = self.new_timer(self.config.batch_timeout, self._on_batch_timeout, "batch")
 
+        # Open-loop client boundary (strictly opt-in; see workload/population.py).
+        # Clients that speak the batch protocol get their write responses
+        # accumulated and flushed once per execution instead of one envelope
+        # per transaction; the closed-loop per-transaction path is untouched.
+        self._batch_clients: Set[str] = set()
+        self._pending_batch: Dict[str, List[Tuple[str, Optional[str]]]] = {}
+        # Read-lease state (active only when ``config.read_leases``).
+        self._read_lease = ReadLease(duration=self.config.lease_duration)
+        self._lease_hold_until = 0.0
+        self._lease_tick_armed = False
+        self.lease_hits = 0
+        self.lease_misses = 0
+
         # Join/leave requester state.
         self._join_tracker: Optional[RequestTracker] = None
         self._leave_tracker: Optional[RequestTracker] = None
@@ -267,6 +283,8 @@ class HamavaReplica(Process):
         # types fall back to the ladder.
         self._handler_table: Dict[type, Tuple[bool, bool, Any]] = {
             ClientRequest: (False, False, self._on_client_request),
+            ClientBatchRequest: (False, False, self._on_client_batch),
+            ReadLeaseGrant: (True, False, self._on_lease_grant),
             ReconfigAck: (False, False, self._on_ack),
             CurrState: (False, False, self._on_curr_state),
             Inter: (True, False, self._on_inter),
@@ -342,6 +360,7 @@ class HamavaReplica(Process):
     def on_start(self) -> None:
         """Begin round 1 (active members) or stay idle until a join begins."""
         if self.mode == MODE_ACTIVE:
+            self._arm_lease_tick()
             self._start_round()
 
     # ------------------------------------------------------------------ #
@@ -670,6 +689,8 @@ class HamavaReplica(Process):
                 operation_count += 1
             if cluster_id == self.cluster_id:
                 local_reconfigs = reconfigs
+        if self._pending_batch:
+            self._flush_batch_responses()
         self._kickstart(local_reconfigs)
         self.collector.mark_applied(local_reconfigs)
 
@@ -705,6 +726,12 @@ class HamavaReplica(Process):
         # retried the request through us after its original replica failed
         # (clients de-duplicate responses by transaction id).
         if was_ours or transaction.origin_replica == self.process_id:
+            if transaction.client_id in self._batch_clients:
+                # Open-loop clients get their acks batched per execution.
+                self._pending_batch.setdefault(transaction.client_id, []).append(
+                    (transaction.txn_id, value)
+                )
+                return
             self.apl.send(
                 transaction.client_id,
                 ClientResponse(
@@ -788,6 +815,14 @@ class HamavaReplica(Process):
         self.leader = leader
         self.leader_ts = view_ts
         self.last_leader_change = self.now
+        if self.config.read_leases:
+            # Old-view leases die with the view; a freshly elected leader
+            # additionally withholds its first grant for one full lease
+            # duration so every lease the old leader issued lapses before
+            # this leader can execute a conflicting write (see ReadLease).
+            self._read_lease.revoke()
+            if leader == self.process_id:
+                self._lease_hold_until = self.now + self.config.lease_duration
         self.tob.new_leader(leader, view_ts)
         brd = self._brd_instances.get(self.round_number)
         if brd is not None:
@@ -862,6 +897,129 @@ class HamavaReplica(Process):
         self._route_to_leader(transaction)
 
     # ------------------------------------------------------------------ #
+    # Open-loop client batches and read leases
+    # ------------------------------------------------------------------ #
+    def _on_client_batch(self, sender: str, message: ClientBatchRequest) -> None:
+        """Handle one window's worth of operations from an open-loop population.
+
+        Reads are answered immediately when safe to do so — at the leader,
+        under a live read lease, or (leases disabled) under the eventual
+        ``local_reads`` policy; everything else forwards to the leader as a
+        single re-batched envelope.  Write acknowledgements accumulate in
+        ``_pending_batch`` and flush once per execution.
+        """
+        local_view = self.view.get(self.cluster_id)
+        from_member = local_view is not None and sender in local_view
+        if not from_member:
+            self._batch_clients.add(sender)
+        is_leader = self.is_leader()
+        leases = self.config.read_leases
+        lease_ok = leases and self._read_lease.valid(self.now, self.leader_ts)
+        serve_reads = is_leader or lease_ok or (
+            not leases and (self.config.local_reads or from_member)
+        )
+        entries: Dict[str, List[Tuple[str, Optional[str]]]] = {}
+        forward: List[Transaction] = []
+        hits = 0
+        misses = 0
+        for transaction in message.transactions:
+            if transaction.is_read:
+                if serve_reads:
+                    entries.setdefault(transaction.client_id, []).append(
+                        (transaction.txn_id, self.kv.read(transaction.key))
+                    )
+                    if leases and not from_member:
+                        hits += 1
+                else:
+                    # Lease miss: the read travels to the leader inside the
+                    # same forwarded batch as the writes (never stored in
+                    # ``_forwarded`` — it is answered without ordering, so
+                    # there is nothing to re-forward on a leader change).
+                    forward.append(transaction)
+                    if leases and not from_member:
+                        misses += 1
+            elif from_member:
+                self._enqueue(transaction)
+            else:
+                self._forwarded[transaction.txn_id] = transaction
+                forward.append(transaction)
+        if forward:
+            if is_leader:
+                for transaction in forward:
+                    self._enqueue(transaction)
+            else:
+                self.apl.send(self.leader, ClientBatchRequest(transactions=tuple(forward)))
+        for client_id in sorted(entries):
+            self.apl.send(
+                client_id,
+                ClientBatchResponse(
+                    entries=tuple(entries[client_id]),
+                    committed_round=self.round_number,
+                    leader_hint=self.leader,
+                ),
+            )
+        if hits or misses:
+            self.lease_hits += hits
+            self.lease_misses += misses
+            if self.metrics is not None:
+                self.metrics.record_lease_reads(hits, misses)
+
+    def _flush_batch_responses(self) -> None:
+        """Send one batched response per open-loop client for this execution."""
+        leader_hint = self.leader
+        committed_round = self.round_number
+        for client_id in sorted(self._pending_batch):
+            self.apl.send(
+                client_id,
+                ClientBatchResponse(
+                    entries=tuple(self._pending_batch[client_id]),
+                    committed_round=committed_round,
+                    leader_hint=leader_hint,
+                ),
+            )
+        self._pending_batch.clear()
+
+    def _arm_lease_tick(self) -> None:
+        """Start the resident lease-refresh tick (opt-in, once per replica)."""
+        if not self.config.read_leases or self._lease_tick_armed:
+            return
+        self._lease_tick_armed = True
+        self.after(
+            self.config.lease_duration / 2.0,
+            self._lease_tick,
+            label=f"{self.process_id}:lease",
+        )
+
+    def _lease_tick(self) -> None:
+        if self.mode == MODE_LEFT:
+            return
+        if (
+            self.mode == MODE_ACTIVE
+            and self.is_leader()
+            and self.now >= self._lease_hold_until
+        ):
+            self.abeb.broadcast(
+                ReadLeaseGrant(
+                    cluster_id=self.cluster_id,
+                    view_ts=self.leader_ts,
+                    granted_at=self.now,
+                    duration=self.config.lease_duration,
+                )
+            )
+        self.after(
+            self.config.lease_duration / 2.0,
+            self._lease_tick,
+            label=f"{self.process_id}:lease",
+        )
+
+    def _on_lease_grant(self, sender: str, message: ReadLeaseGrant) -> None:
+        if message.cluster_id != self.cluster_id:
+            return
+        if sender != self.leader or message.view_ts != self.leader_ts:
+            return  # grant from a leader this replica no longer follows
+        self._read_lease.install(message.view_ts, message.granted_at, message.duration)
+
+    # ------------------------------------------------------------------ #
     # Reconfiguration requester side (Alg. 3)
     # ------------------------------------------------------------------ #
     def request_join(self, target_cluster: Optional[int] = None) -> None:
@@ -933,6 +1091,7 @@ class HamavaReplica(Process):
         self.tob.view_ts = self.leader_ts
         if self.metrics is not None:
             self.metrics.record_join_completed(self.process_id, self.cluster_id, self.now)
+        self._arm_lease_tick()
         self._start_round()
 
     # ------------------------------------------------------------------ #
@@ -970,6 +1129,9 @@ class HamavaReplica(Process):
         if isinstance(payload, ClientRequest):
             self._on_client_request(sender, payload)
             return
+        if isinstance(payload, ClientBatchRequest):
+            self._on_client_batch(sender, payload)
+            return
         if isinstance(payload, ReconfigAck):
             self._on_ack(sender, payload)
             return
@@ -987,6 +1149,8 @@ class HamavaReplica(Process):
             return
         if isinstance(payload, Inter):
             self._on_inter(sender, payload)
+        elif isinstance(payload, ReadLeaseGrant):
+            self._on_lease_grant(sender, payload)
         elif isinstance(payload, LocalShare):
             self._on_local_share(sender, payload)
         elif isinstance(payload, (LComplaint, RComplaint, ClusterComplaint)):

@@ -29,6 +29,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.config import HamavaConfig
 from repro.errors import ConfigurationError
+from repro.workload.population import PopulationConfig, resolve_population_preset
+from repro.workload.shapes import LoadShape
 from repro.harness.scenario import (
     DEFAULT_REGION,
     ByzantineEvent,
@@ -164,6 +166,54 @@ class Scenario:
     def threads(self, client_threads: int) -> "Scenario":
         """Closed-loop threads per workload client."""
         self._spec.client_threads = int(client_threads)
+        return self
+
+    def open_loop(
+        self,
+        clients: Optional[int] = None,
+        rate: Optional[float] = None,
+        shape: Optional[LoadShape] = None,
+        preset: Optional[str] = None,
+        **fields: object,
+    ) -> "Scenario":
+        """Switch to the open-loop population workload model.
+
+        Either start from a named population ``preset`` (``"steady"``,
+        ``"ramp"``, ``"rush_hour"``, ``"staircase"``, ``"diurnal"``,
+        ``"trace"``, ``"smoke"``) or from defaults, then override
+        ``clients`` / ``rate`` / ``shape`` and any other
+        :class:`~repro.workload.population.PopulationConfig` field
+        (``arrival``, ``batch_window``, ``max_outstanding``).
+        """
+        config = (
+            resolve_population_preset(preset)
+            if preset is not None
+            else (self._spec.population.copy() if self._spec.population is not None else PopulationConfig())
+        )
+        if clients is not None:
+            config.clients = int(clients)
+        if rate is not None:
+            config.rate = float(rate)
+            config.shape = None  # an explicit rate overrides a preset's shape
+        if shape is not None:
+            config.shape = shape
+        for key, value in fields.items():
+            if not hasattr(config, key):
+                raise ConfigurationError(f"unknown population field {key!r}")
+            setattr(config, key, value)
+        self._spec.workload_model = "open"
+        self._spec.population = config
+        return self
+
+    def load_shape(self, shape: LoadShape) -> "Scenario":
+        """Set the open-loop arrival-rate shape (implies the open model)."""
+        return self.open_loop(shape=shape)
+
+    def read_leases(self, enabled: bool = True, duration: Optional[float] = None) -> "Scenario":
+        """Enable leader read leases (lease-covered reads skip consensus)."""
+        self._spec.config_overrides["read_leases"] = bool(enabled)
+        if duration is not None:
+            self._spec.config_overrides["lease_duration"] = float(duration)
         return self
 
     def clients_per_cluster(self, count: int) -> "Scenario":

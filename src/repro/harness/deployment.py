@@ -22,6 +22,7 @@ from repro.net.latency import LatencyModel, LatencyParameters
 from repro.net.network import Network, NetworkConfig
 from repro.sim.simulator import Simulator
 from repro.workload.clients import ReconfigurationClient, WorkloadClient
+from repro.workload.population import ClientPopulation, PopulationConfig
 from repro.workload.ycsb import YcsbConfig, YcsbWorkload
 
 
@@ -38,6 +39,10 @@ class DeploymentSpec:
         latency: Latency-model constants.
         network: Network processing-cost constants.
         clients_per_cluster: Number of workload clients per cluster.
+        workload_model: ``"closed"`` (per-thread YCSB clients) or ``"open"``
+            (one aggregate :class:`ClientPopulation` per cluster).
+        population: Open-loop population parameters (``"open"`` model only;
+            defaults applied when ``None``).
         replica_class: Replica implementation (Hamava or a baseline).
         region_overrides: Optional per-replica region placement, used by the
             non-clustered baseline whose single "cluster" spans regions.
@@ -53,6 +58,8 @@ class DeploymentSpec:
     latency: LatencyParameters = field(default_factory=LatencyParameters)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     clients_per_cluster: int = 1
+    workload_model: str = "closed"
+    population: Optional[PopulationConfig] = None
     replica_class: Type[HamavaReplica] = HamavaReplica
     region_overrides: Dict[str, str] = field(default_factory=dict)
     reconfig_client_region: Optional[str] = None
@@ -71,6 +78,7 @@ class Deployment:
         self.system_config = SystemConfig.build(spec.clusters)
         self.replicas: Dict[str, HamavaReplica] = {}
         self.clients: List[WorkloadClient] = []
+        self.populations: List[ClientPopulation] = []
         self.reconfig_clients: List[ReconfigurationClient] = []
         self._joiner_count = 0
         self._started = False
@@ -99,7 +107,10 @@ class Deployment:
                     self.latency_model.place(replica_id, region)
                 self.replicas[replica_id] = replica
             for client_index in range(spec.clients_per_cluster):
-                self._build_client(cluster_id, client_index)
+                if spec.workload_model == "open":
+                    self._build_population(cluster_id, client_index)
+                else:
+                    self._build_client(cluster_id, client_index)
 
     def _build_client(self, cluster_id: int, client_index: int) -> None:
         spec = self.spec
@@ -118,6 +129,24 @@ class Deployment:
         self.network.register(client, self.system_config.region_of_cluster(cluster_id))
         self.clients.append(client)
 
+    def _build_population(self, cluster_id: int, client_index: int) -> None:
+        spec = self.spec
+        client_id = f"population{cluster_id}.{client_index}"
+        workload = YcsbWorkload(spec.workload, self.simulator.rng.child(f"workload/{client_id}"))
+        config = spec.population.copy() if spec.population is not None else PopulationConfig()
+        population = ClientPopulation(
+            client_id=client_id,
+            simulator=self.simulator,
+            network=self.network,
+            workload=workload,
+            target_replicas=self.system_config.members(cluster_id),
+            config=config,
+            metrics=self.metrics,
+            retry_timeout=spec.config.retry_timeout,
+        )
+        self.network.register(population, self.system_config.region_of_cluster(cluster_id))
+        self.populations.append(population)
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -130,6 +159,8 @@ class Deployment:
             replica.start()
         for client in self.clients:
             client.start()
+        for population in self.populations:
+            population.start()
         for churn in self.reconfig_clients:
             churn.start()
 

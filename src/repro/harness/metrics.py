@@ -81,6 +81,12 @@ class MetricsCollector:
         self.joins_completed: List[Tuple[str, int, float]] = []
         self._completion_times: List[float] = []
         self.window: Tuple[float, Optional[float]] = (0.0, None)
+        # Open-loop counters (populations and read leases).  Kept out of
+        # ``summary()`` — its keys are pinned byte-for-byte by the
+        # determinism goldens — and surfaced via ``open_loop_summary()``.
+        self.offered = 0
+        self.lease_hits = 0
+        self.lease_misses = 0
 
     # ------------------------------------------------------------------ #
     # Recording hooks (called by clients and replicas)
@@ -138,6 +144,20 @@ class MetricsCollector:
     def record_join_completed(self, process_id: str, cluster_id: int, at: float) -> None:
         """Record that a joining replica finished its state transfer."""
         self.joins_completed.append((process_id, cluster_id, at))
+
+    def record_offered(self, count: int) -> None:
+        """Record operations *offered* by an open-loop arrival stream.
+
+        Offered load is counted at arrival, not completion — the divergence
+        between offered and goodput is exactly the overload signal the
+        open-loop model exists to measure.
+        """
+        self.offered += count
+
+    def record_lease_reads(self, hits: int, misses: int) -> None:
+        """Record lease-covered reads served locally vs forwarded misses."""
+        self.lease_hits += hits
+        self.lease_misses += misses
 
     # ------------------------------------------------------------------ #
     # Measurement window
@@ -251,6 +271,37 @@ class MetricsCollector:
             "operations": float(self.committed_count()),
             "rounds": float(self.rounds_executed()),
             "reconfigs_applied": float(len(self.reconfigs)),
+        }
+
+    def lease_hit_rate(self) -> float:
+        """Fraction of lease-eligible reads served without leader contact."""
+        total = self.lease_hits + self.lease_misses
+        if not total:
+            return 0.0
+        return self.lease_hits / total
+
+    def open_loop_summary(self) -> Dict[str, float]:
+        """Open-loop headline numbers (offered load vs goodput, leases).
+
+        Separate from :meth:`summary` on purpose: the closed-loop summary's
+        keys are pinned by the determinism goldens, while these counters
+        only move when a scenario opts into populations or read leases.
+        """
+        goodput = self.throughput()
+        start, end = self.window
+        duration = None
+        if end is not None:
+            duration = max(end - start, 1e-9)
+        elif self._completion_times:
+            duration = max(max(self._completion_times) - start, 1e-9)
+        offered_rate = self.offered / duration if duration else 0.0
+        return {
+            "offered": float(self.offered),
+            "offered_rate": offered_rate,
+            "goodput": goodput,
+            "lease_hits": float(self.lease_hits),
+            "lease_misses": float(self.lease_misses),
+            "lease_hit_rate": self.lease_hit_rate(),
         }
 
 

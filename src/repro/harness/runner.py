@@ -59,6 +59,7 @@ class ResultRow:
     stages: Optional[Dict[str, float]] = None
     series: Optional[List[List[float]]] = None
     network: Optional[Dict[str, float]] = None
+    population: Optional[Dict[str, float]] = None
     error: Optional[str] = None
 
     def to_dict(self) -> Dict[str, object]:
@@ -83,6 +84,18 @@ def run_scenario(spec: ScenarioSpec) -> ResultRow:
     deployment = spec.build()
     metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
     summary = metrics.summary()
+    population: Optional[Dict[str, float]] = None
+    if deployment.populations:
+        # Open-loop extras: per-population counters summed across regions,
+        # plus the collector's offered-vs-goodput and lease numbers.
+        population = dict(metrics.open_loop_summary())
+        totals: Dict[str, float] = {}
+        for pop in deployment.populations:
+            for key, value in pop.stats().items():
+                totals[key] = totals.get(key, 0.0) + value
+        count = len(deployment.populations)
+        totals["queueing_delay_mean"] = totals.get("queueing_delay_mean", 0.0) / count
+        population.update(totals)
     series: Optional[List[List[float]]] = None
     if spec.timeseries_bucket is not None:
         series = [
@@ -114,6 +127,7 @@ def run_scenario(spec: ScenarioSpec) -> ResultRow:
             **deployment.network.stats.snapshot(),
             "link_latency_mean_ms": deployment.network.stats.mean_link_latency() * 1000.0,
         },
+        population=population,
     )
 
 
@@ -178,6 +192,121 @@ def _run_payload(payload: Dict[str, object]) -> Dict[str, object]:
 ScenarioLike = Union[ScenarioSpec, "Scenario"]  # noqa: F821 - builder import is lazy
 
 
+# ---------------------------------------------------------------------- #
+# Multi-seed aggregation
+# ---------------------------------------------------------------------- #
+#: ResultRow fields aggregated across seeds.
+AGGREGATE_METRICS = (
+    "throughput",
+    "throughput_reads",
+    "throughput_writes",
+    "latency_mean",
+    "latency_read",
+    "latency_write",
+    "latency_p99",
+    "operations",
+    "rounds",
+)
+
+#: Two-sided 95% Student-t critical values by degrees of freedom (n - 1).
+#: Seed grids are small (2-10 seeds), where the normal z=1.96 understates
+#: the interval badly; beyond the table the normal approximation is fine.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+    7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+    30: 2.042,
+}
+
+
+def _t_critical(dof: int) -> float:
+    if dof <= 0:
+        return 0.0
+    if dof in _T_95:
+        return _T_95[dof]
+    for bound in (15, 20, 30):
+        if dof <= bound:
+            return _T_95[bound]
+    return 1.960
+
+
+def _mean_std(values: List[float]) -> tuple:
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, variance ** 0.5
+
+
+@dataclass
+class AggregateRow:
+    """Per-scenario statistics across seeds: mean, stddev, and 95% CI.
+
+    ``mean``/``std``/``ci95`` map each :data:`AGGREGATE_METRICS` field to
+    its across-seed mean, sample standard deviation (n−1), and 95%
+    confidence half-width (Student t, so 2-5 seed grids are honest about
+    their uncertainty instead of quoting a bare point estimate).
+    """
+
+    scenario: str
+    seeds: List[int]
+    mean: Dict[str, float]
+    std: Dict[str, float]
+    ci95: Dict[str, float]
+    failed_seeds: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serializable description of this aggregate."""
+        return asdict(self)
+
+    def format_metric(self, metric: str, precision: int = 1) -> str:
+        """Render one metric as ``mean ± ci95`` for reports."""
+        return f"{self.mean[metric]:.{precision}f} ± {self.ci95[metric]:.{precision}f}"
+
+
+def aggregate_rows(rows: Iterable[ResultRow]) -> List[AggregateRow]:
+    """Group rows by scenario name and aggregate each metric across seeds.
+
+    Failed rows are excluded from the statistics (their zeros would poison
+    every mean) but reported in ``failed_seeds`` so a crash cannot silently
+    narrow a confidence interval.
+    """
+    grouped: Dict[str, List[ResultRow]] = {}
+    order: List[str] = []
+    for row in rows:
+        if row.scenario not in grouped:
+            grouped[row.scenario] = []
+            order.append(row.scenario)
+        grouped[row.scenario].append(row)
+    aggregates: List[AggregateRow] = []
+    for name in order:
+        group = grouped[name]
+        good = [row for row in group if row.error is None]
+        failed = [row.seed for row in group if row.error is not None]
+        mean: Dict[str, float] = {}
+        std: Dict[str, float] = {}
+        ci95: Dict[str, float] = {}
+        if good:
+            t = _t_critical(len(good) - 1)
+            for metric in AGGREGATE_METRICS:
+                values = [float(getattr(row, metric)) for row in good]
+                m, s = _mean_std(values)
+                mean[metric] = m
+                std[metric] = s
+                ci95[metric] = t * s / (len(values) ** 0.5) if len(values) > 1 else 0.0
+        aggregates.append(
+            AggregateRow(
+                scenario=name,
+                seeds=[row.seed for row in good],
+                mean=mean,
+                std=std,
+                ci95=ci95,
+                failed_seeds=failed,
+            )
+        )
+    return aggregates
+
+
 class ScenarioRunner:
     """Executes scenario grids, serially or across a process pool.
 
@@ -240,6 +369,9 @@ class ScenarioRunner:
                 overriding per-scenario seeds.
         """
         specs = self.expand(scenarios, seeds=seeds)
+        return self._run_specs(specs)
+
+    def _run_specs(self, specs: List[ScenarioSpec]) -> List[ResultRow]:
         if self.workers == 1 or len(specs) <= 1:
             # Run the original specs directly: no serialization detour, so
             # e.g. non-importable replica classes work in-process.  Rows are
@@ -252,6 +384,19 @@ class ScenarioRunner:
         with context.Pool(processes=min(self.workers, len(payloads))) as pool:
             results = pool.map(_run_payload, payloads)
         return [ResultRow.from_dict(result) for result in results]
+
+    def aggregate(
+        self,
+        scenarios: Union[ScenarioLike, Iterable[ScenarioLike]],
+        seeds: Optional[Iterable[int]] = None,
+    ) -> List[AggregateRow]:
+        """Execute a grid and report per-scenario mean, stddev, and 95% CI.
+
+        One :class:`AggregateRow` per scenario name, aggregating every
+        :data:`AGGREGATE_METRICS` field across that scenario's seeds —
+        replaces bare point estimates for any claim built on a seed grid.
+        """
+        return aggregate_rows(self.run(scenarios, seeds=seeds))
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -270,4 +415,13 @@ class ScenarioRunner:
             return [ResultRow.from_dict(payload) for payload in json.load(handle)]
 
 
-__all__ = ["ResultRow", "ScenarioRunner", "failed_row", "run_scenario", "run_scenario_safe"]
+__all__ = [
+    "AGGREGATE_METRICS",
+    "AggregateRow",
+    "ResultRow",
+    "ScenarioRunner",
+    "aggregate_rows",
+    "failed_row",
+    "run_scenario",
+    "run_scenario_safe",
+]

@@ -36,6 +36,11 @@ from repro.core.replica import HamavaReplica
 from repro.errors import ConfigurationError
 from repro.net.latency import LatencyParameters
 from repro.net.network import NetworkConfig
+from repro.workload.population import (
+    PopulationConfig,
+    population_from_dict,
+    population_to_dict,
+)
 from repro.workload.ycsb import YcsbConfig
 
 #: Region used when a scenario does not say otherwise.
@@ -279,6 +284,12 @@ class ScenarioSpec:
         client_threads: Closed-loop threads per workload client.
         clients_per_cluster: Workload clients per cluster.
         workload: YCSB parameters.
+        workload_model: ``"closed"`` (per-thread YCSB clients, the paper's
+            evaluation setup) or ``"open"`` (one aggregate
+            :class:`~repro.workload.population.ClientPopulation` per
+            cluster, driven by an arrival rate or load shape).
+        population: Open-loop population parameters; required context when
+            ``workload_model == "open"`` (defaults applied when ``None``).
         latency: Latency-model constants.
         network: Network processing-cost constants.
         config: Optional base protocol configuration (defaults applied
@@ -312,6 +323,8 @@ class ScenarioSpec:
     client_threads: int = 16
     clients_per_cluster: int = 1
     workload: YcsbConfig = field(default_factory=YcsbConfig)
+    workload_model: str = "closed"
+    population: Optional[PopulationConfig] = None
     latency: LatencyParameters = field(default_factory=LatencyParameters)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     config: Optional[HamavaConfig] = None
@@ -335,6 +348,7 @@ class ScenarioSpec:
             seed=seed,
             clusters=[tuple(c) for c in self.clusters],
             workload=replace(self.workload),
+            population=None if self.population is None else self.population.copy(),
             latency=replace(self.latency),
             network=replace(self.network),
             config=None if self.config is None else replace(self.config, consensus=replace(self.config.consensus)),
@@ -364,6 +378,13 @@ class ScenarioSpec:
         """Raise :class:`ConfigurationError` on an unusable spec."""
         if not self.clusters:
             raise ConfigurationError(f"scenario {self.name!r} has no clusters")
+        if self.workload_model not in ("closed", "open"):
+            raise ConfigurationError(
+                f"scenario {self.name!r}: workload_model must be 'closed' or "
+                f"'open', not {self.workload_model!r}"
+            )
+        if self.population is not None:
+            self.population.validate()
         cluster_count = len(self.clusters)
         for event in self.schedule:
             clusters: Sequence[int] = ()
@@ -411,6 +432,8 @@ class ScenarioSpec:
             latency=replace(self.latency),
             network=replace(self.network),
             clients_per_cluster=self.clients_per_cluster,
+            workload_model=self.workload_model,
+            population=None if self.population is None else self.population.copy(),
             replica_class=self.compiled_replica_class(),
             region_overrides=dict(self.region_overrides),
             reconfig_client_region=self.churn_client_region,
@@ -450,6 +473,8 @@ class ScenarioSpec:
             "client_threads": self.client_threads,
             "clients_per_cluster": self.clients_per_cluster,
             "workload": asdict(self.workload),
+            "workload_model": self.workload_model,
+            "population": None if self.population is None else population_to_dict(self.population),
             "latency": asdict(self.latency),
             "network": asdict(self.network),
             "config": None if self.config is None else _config_to_dict(self.config),
@@ -470,6 +495,8 @@ class ScenarioSpec:
         data = dict(payload)
         data["clusters"] = [(int(size), str(region)) for size, region in data.get("clusters", [])]
         data["workload"] = YcsbConfig(**data.get("workload", {}))
+        population = data.get("population")
+        data["population"] = None if population is None else population_from_dict(population)
         data["latency"] = LatencyParameters(**data.get("latency", {}))
         data["network"] = NetworkConfig(**data.get("network", {}))
         config = data.get("config")

@@ -64,6 +64,10 @@ class SeededRng:
         """Draw a float uniformly from ``[0, 1)``."""
         return self._random.random()
 
+    def gauss(self, mu: float, sigma: float) -> float:
+        """Draw from a normal distribution (mean ``mu``, stddev ``sigma``)."""
+        return self._random.gauss(mu, sigma)
+
     def choice(self, items: Sequence[T]) -> T:
         """Pick one element of a non-empty sequence."""
         return self._random.choice(items)

@@ -97,7 +97,6 @@ class WorkloadClient(Process):
         #: round-robin detour just adds a forward hop); reads stay
         #: round-robin so local reads keep load-balancing across replicas.
         self._leader_hint: str = ""
-        self._target_set = set(self.target_replicas)
         self.completed_reads = 0
         self.completed_writes = 0
 
@@ -238,10 +237,14 @@ class WorkloadClient(Process):
         if self._suspected:
             self._suspected.discard(sender)  # a responding replica is not dead
         hint = payload.leader_hint
-        if hint and hint in self._target_set and hint not in self._suspected:
+        if hint and hint not in self._suspected:
             # A suspected replica is only rehabilitated by answering us
             # itself (the discard above) — a third party's stale hint must
-            # not send writes back to a leader we just timed out on.
+            # not send writes back to a leader we just timed out on.  The
+            # hint may name a replica outside the client's initial target
+            # set (a joiner that won leadership): caching it is exactly the
+            # point — writes route straight to the new leader instead of
+            # paying a forward hop forever.
             self._leader_hint = hint
         transaction = thread.outstanding_txn
         latency = self.now - thread.submitted_at

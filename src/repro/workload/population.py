@@ -1,0 +1,495 @@
+"""Open-loop client populations: millions of simulated users per region.
+
+The closed-loop :class:`~repro.workload.clients.WorkloadClient` models each
+client thread as an object with one outstanding request — faithful to the
+paper's evaluation setup, but it caps "heavy traffic" at thousands of
+clients because state and events scale with the population.  A
+:class:`ClientPopulation` inverts the model: one process per region stands
+in for an arbitrary number of users by generating an *open-loop arrival
+stream* whose rate follows a :mod:`load shape <repro.workload.shapes>`
+(Poisson or deterministic arrivals; constant, ramp, spike, step, diurnal,
+or trace-driven rates).
+
+The state is O(1) in the population size: arrivals are drawn per *batching
+window* (one Poisson draw per tick, not one event per client), queued
+arrivals are stored as ``(arrival_time, count)`` pairs (one per tick), and
+only in-flight operations — bounded by the pipelining window — carry
+per-operation records.  Requests cross the client–replica boundary as
+:class:`~repro.core.messages.ClientBatchRequest` envelopes (one wire
+message per window per target, regardless of how many operations it
+carries) and responses return as per-round
+:class:`~repro.core.messages.ClientBatchResponse` batches.
+
+Open loop means arrivals do not wait for completions: when the system
+cannot keep up, the backlog grows and *offered load* diverges from
+*goodput* — exactly the signal closed-loop clients cannot produce, and the
+one the flash-crowd and capacity-probe shapes exist to measure.  The
+pipelining window (``max_outstanding``) only bounds memory: operations
+beyond it wait in the backlog and their wait is reported as queueing delay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from repro.core.messages import ClientBatchRequest, ClientBatchResponse, ClientResponse
+from repro.core.types import Transaction, make_transaction
+from repro.errors import WorkloadError
+from repro.net.links import AuthenticatedPerfectLink
+from repro.net.message import Envelope
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.simulator import Simulator
+from repro.workload.shapes import (
+    ConstantShape,
+    DiurnalShape,
+    LoadShape,
+    RampShape,
+    SpikeShape,
+    StepShape,
+    TraceShape,
+    shape_from_dict,
+    shape_to_dict,
+)
+from repro.workload.ycsb import YcsbWorkload
+
+
+@dataclass
+class PopulationConfig:
+    """Parameters of one open-loop client population (per region).
+
+    Attributes:
+        clients: Number of simulated users this population stands in for.
+            Purely aggregate — state never scales with it, so millions are
+            as cheap as dozens.  Operations carry synthesized per-user ids
+            (round-robin over the population) for trace realism.
+        rate: Aggregate arrival rate (operations/second) when no shape is
+            given; ignored otherwise.
+        shape: Optional time-varying rate (see :mod:`repro.workload.shapes`);
+            ``None`` means a constant ``rate``.
+        arrival: ``"poisson"`` (memoryless arrivals, the open-loop standard)
+            or ``"uniform"`` (deterministic evenly-spaced arrivals).
+        batch_window: Client-side batching quantum in seconds.  Arrivals
+            within one window ship together as one batch envelope per
+            target; smaller windows trade wire messages for latency
+            granularity.
+        max_outstanding: Pipelining window — operations in flight before
+            new arrivals queue in the backlog.  Bounds per-operation state.
+    """
+
+    clients: int = 100_000
+    rate: float = 2000.0
+    shape: Optional[LoadShape] = None
+    arrival: str = "poisson"
+    batch_window: float = 0.005
+    max_outstanding: int = 20_000
+
+    def effective_shape(self) -> LoadShape:
+        """The shape driving this population (a constant when none was set)."""
+        return self.shape if self.shape is not None else ConstantShape(rate=self.rate)
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on out-of-range parameters."""
+        if self.clients <= 0:
+            raise WorkloadError("population clients must be positive")
+        if self.rate < 0:
+            raise WorkloadError("population rate must be non-negative")
+        if self.arrival not in ("poisson", "uniform"):
+            raise WorkloadError(f"unknown arrival process {self.arrival!r}")
+        if self.batch_window <= 0:
+            raise WorkloadError("population batch_window must be positive")
+        if self.max_outstanding <= 0:
+            raise WorkloadError("population max_outstanding must be positive")
+        self.effective_shape().validate()
+
+    def copy(self) -> "PopulationConfig":
+        """An independent copy (shapes are frozen and safely shared)."""
+        return replace(self)
+
+
+def population_to_dict(config: PopulationConfig) -> Dict[str, object]:
+    """Serialize a population config (the shape as a tagged dictionary)."""
+    data = asdict(config)
+    data["shape"] = None if config.shape is None else shape_to_dict(config.shape)
+    return data
+
+
+def population_from_dict(payload: Dict[str, object]) -> PopulationConfig:
+    """Rebuild a population config from :func:`population_to_dict` output."""
+    data = dict(payload)
+    shape = data.get("shape")
+    data["shape"] = None if shape is None else shape_from_dict(shape)
+    return PopulationConfig(**data)
+
+
+#: Named population presets: ready-made open-loop scenarios.  ``smoke`` is
+#: sized for CI; the others exercise one load shape each at a scale the
+#: default two-cluster deployment sustains.
+POPULATION_PRESETS: Dict[str, Callable[[], PopulationConfig]] = {
+    "steady": lambda: PopulationConfig(clients=100_000, rate=2000.0),
+    "ramp": lambda: PopulationConfig(
+        clients=100_000,
+        shape=RampShape(start_rate=200.0, end_rate=3000.0, start=0.5, end=4.0),
+    ),
+    "rush_hour": lambda: PopulationConfig(
+        clients=100_000,
+        shape=SpikeShape(base_rate=800.0, spike_rate=4000.0, at=2.0, width=1.0),
+    ),
+    "staircase": lambda: PopulationConfig(
+        clients=100_000,
+        shape=StepShape(initial_rate=500.0, steps=((1.5, 1500.0), (3.0, 3000.0))),
+    ),
+    "diurnal": lambda: PopulationConfig(
+        clients=100_000,
+        shape=DiurnalShape(mean_rate=1500.0, amplitude=1000.0, period=4.0),
+    ),
+    "trace": lambda: PopulationConfig(
+        clients=100_000,
+        shape=TraceShape(points=((0.0, 400.0), (1.5, 2500.0), (3.0, 900.0), (4.5, 1800.0))),
+    ),
+    "smoke": lambda: PopulationConfig(clients=100_000, rate=600.0, batch_window=0.01),
+}
+
+
+def resolve_population_preset(name: str) -> PopulationConfig:
+    """Look up a named population preset (case-insensitive)."""
+    key = name.lower()
+    if key not in POPULATION_PRESETS:
+        raise WorkloadError(
+            f"unknown population preset {name!r}; available: {sorted(POPULATION_PRESETS)}"
+        )
+    return POPULATION_PRESETS[key]()
+
+
+class ClientPopulation(Process):
+    """An aggregate open-loop client population bound to one cluster.
+
+    One resident tick event fires every ``batch_window`` seconds: it draws
+    the window's arrival count from the configured process (one Poisson or
+    deterministic draw per tick), folds the arrivals into the backlog, and
+    dispatches as many operations as the pipelining window admits — reads
+    as one batch to a rotating replica, writes as one batch to the cached
+    cluster leader.  Kernel event volume is therefore O(ticks + responses),
+    independent of both the population size and the arrival rate.
+
+    Args:
+        client_id: Process id of this population.
+        simulator: Simulation kernel.
+        network: Simulated network.
+        workload: Operation generator (key/op mix; think of it as the
+            per-user behaviour profile).
+        target_replicas: Replicas of the cluster this population talks to.
+        config: Population parameters (rate, shape, windows).
+        metrics: Optional metrics sink (duck-typed ``record_transaction`` /
+            ``record_offered``).
+        retry_timeout: Seconds after which unanswered in-flight operations
+            are re-sent and their target suspected.
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        simulator: Simulator,
+        network: Network,
+        workload: YcsbWorkload,
+        target_replicas: List[str],
+        config: Optional[PopulationConfig] = None,
+        metrics: Optional[Any] = None,
+        retry_timeout: float = 60.0,
+    ) -> None:
+        super().__init__(client_id, simulator)
+        self.config = config or PopulationConfig()
+        self.config.validate()
+        self.workload = workload
+        self.target_replicas = list(target_replicas)
+        self.metrics = metrics
+        self.retry_timeout = retry_timeout
+        self.apl: Optional[AuthenticatedPerfectLink] = None
+        self._network = network
+        self._shape = self.config.effective_shape()
+        #: Dedicated arrival stream: shares nothing with latency/workload
+        #: draws, so adding a population cannot perturb other components.
+        self._arrival_rng = simulator.rng.child(f"population/{client_id}")
+        self._tick_label = f"{client_id}:tick"
+        self._started_at = 0.0
+        #: Deterministic-arrival accumulator (fractional ops carry over).
+        self._carry = 0.0
+        #: Backlog of arrived-but-not-dispatched operations, O(ticks):
+        #: ``[arrival_time, remaining_count]`` — never one entry per op.
+        self._backlog: Deque[List[float]] = deque()
+        self._backlog_size = 0
+        #: In-flight operations (bounded by ``max_outstanding``):
+        #: txn_id -> (transaction, sent_at, target).
+        self._inflight: Dict[str, Tuple[Transaction, float, str]] = {}
+        #: Synthesized per-user id counter (round-robin over the population).
+        self._user_cursor = 0
+        self._read_cursor = 0
+        self._suspected: set = set()
+        #: Cached cluster leader from response ``leader_hint``s, invalidated
+        #: on suspicion — writes route straight to it instead of re-learning
+        #: the leader through a forward hop every window.
+        self._leader_hint: str = ""
+        # Aggregate statistics (exposed via ``stats()``).
+        self.offered = 0
+        self.dispatched = 0
+        self.completed = 0
+        self.completed_reads = 0
+        self.completed_writes = 0
+        self.retries = 0
+        self.queue_delay_sum = 0.0
+        self.queue_delay_count = 0
+        self.max_inflight = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def on_start(self) -> None:
+        """Arm the resident arrival tick and the retry sweep."""
+        self.apl = AuthenticatedPerfectLink(self.process_id, self._network)
+        self._started_at = self.now
+        self.simulator.schedule(
+            self.config.batch_window, self._tick, label=self._tick_label
+        )
+        self.after(self.retry_timeout / 2.0, self._sweep_retries, label=f"{self.process_id}:sweep")
+
+    # ------------------------------------------------------------------ #
+    # Arrivals
+    # ------------------------------------------------------------------ #
+    def _poisson(self, mean: float) -> int:
+        """One Poisson draw (Knuth for small means, normal approx above)."""
+        if mean <= 0.0:
+            return 0
+        rng = self._arrival_rng
+        if mean < 30.0:
+            threshold = math.exp(-mean)
+            count = 0
+            product = rng.random()
+            while product > threshold:
+                count += 1
+                product *= rng.random()
+            return count
+        value = rng.gauss(mean, math.sqrt(mean))
+        return max(0, int(round(value)))
+
+    def _window_arrivals(self) -> int:
+        """Arrival count for the window that just elapsed."""
+        t = self.now - self._started_at
+        mean = self._shape.rate_at(t) * self.config.batch_window
+        if self.config.arrival == "poisson":
+            return self._poisson(mean)
+        total = self._carry + mean
+        count = int(total)
+        self._carry = total - count
+        return count
+
+    def _tick(self) -> None:
+        if self.crashed or self.apl is None:
+            return
+        arrivals = self._window_arrivals()
+        if arrivals:
+            self.offered += arrivals
+            if self.metrics is not None:
+                self.metrics.record_offered(arrivals)
+            self._backlog.append([self.now, arrivals])
+            self._backlog_size += arrivals
+        self._dispatch()
+        self.simulator.schedule(
+            self.config.batch_window, self._tick, label=self._tick_label
+        )
+
+    # ------------------------------------------------------------------ #
+    # Dispatch (batching + pipelining)
+    # ------------------------------------------------------------------ #
+    def _write_target(self) -> str:
+        hint = self._leader_hint
+        if hint and hint not in self._suspected:
+            return hint
+        return self._next_read_target()
+
+    def _next_read_target(self) -> str:
+        targets = self.target_replicas
+        for _ in range(len(targets)):
+            target = targets[self._read_cursor % len(targets)]
+            self._read_cursor += 1
+            if target not in self._suspected:
+                return target
+        target = targets[self._read_cursor % len(targets)]
+        self._read_cursor += 1
+        return target
+
+    def _dispatch(self) -> None:
+        window = self.config.max_outstanding - len(self._inflight)
+        if window <= 0 or not self._backlog_size:
+            return
+        count = min(window, self._backlog_size)
+        reads: List[Transaction] = []
+        writes: List[Transaction] = []
+        now = self.now
+        clients = self.config.clients
+        value_size = self.workload.config.value_size
+        backlog = self._backlog
+        taken = 0
+        while taken < count:
+            entry = backlog[0]
+            take = min(count - taken, int(entry[1]))
+            self.queue_delay_sum += (now - entry[0]) * take
+            self.queue_delay_count += take
+            entry[1] -= take
+            if entry[1] <= 0:
+                backlog.popleft()
+            taken += take
+            for _ in range(take):
+                op, key, value = self.workload.next_operation()
+                user = self._user_cursor
+                self._user_cursor = (user + 1) % clients
+                transaction = make_transaction(
+                    client_id=self.process_id,
+                    origin_replica="",  # filled per batch target below
+                    op=op,
+                    key=key,
+                    value=value,
+                    submitted_at=now,
+                    size_bytes=value_size,
+                )
+                (reads if op == "read" else writes).append(transaction)
+        self._backlog_size -= taken
+        self.dispatched += taken
+        if reads:
+            self._send_batch(reads, self._next_read_target())
+        if writes:
+            self._send_batch(writes, self._write_target())
+        if len(self._inflight) > self.max_inflight:
+            self.max_inflight = len(self._inflight)
+
+    def _send_batch(self, transactions: List[Transaction], target: str) -> None:
+        now = self.now
+        inflight = self._inflight
+        for transaction in transactions:
+            transaction.origin_replica = target
+            inflight[transaction.txn_id] = (transaction, now, target)
+        self.apl.send(target, ClientBatchRequest(transactions=tuple(transactions)))
+
+    # ------------------------------------------------------------------ #
+    # Responses
+    # ------------------------------------------------------------------ #
+    def on_message(self, sender: str, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, ClientBatchResponse):
+            if self._suspected:
+                self._suspected.discard(sender)
+            self._adopt_hint(payload.leader_hint)
+            for txn_id, _value in payload.entries:
+                self._complete(txn_id)
+        elif isinstance(payload, ClientResponse):
+            if self._suspected:
+                self._suspected.discard(sender)
+            self._adopt_hint(payload.leader_hint)
+            self._complete(payload.txn_id)
+
+    def _adopt_hint(self, hint: str) -> None:
+        # Cache the responder's leader hint per population; a suspected
+        # replica is only rehabilitated by answering us itself, so a stale
+        # third-party hint cannot re-route writes to a leader we timed out
+        # on (mirrors the closed-loop client's rule).
+        if hint and hint not in self._suspected:
+            self._leader_hint = hint
+
+    def _complete(self, txn_id: str) -> None:
+        record = self._inflight.pop(txn_id, None)
+        if record is None:
+            return
+        transaction, _sent_at, _target = record
+        self.completed += 1
+        if transaction.is_read:
+            self.completed_reads += 1
+        else:
+            self.completed_writes += 1
+        if self.metrics is not None:
+            self.metrics.record_transaction(
+                txn_id=txn_id,
+                op=transaction.op,
+                latency=self.now - transaction.submitted_at,
+                completed_at=self.now,
+                client_id=self.process_id,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Retries
+    # ------------------------------------------------------------------ #
+    def _sweep_retries(self) -> None:
+        """Re-send in-flight operations older than the retry timeout.
+
+        One periodic sweep over the (bounded) in-flight table replaces a
+        per-operation watchdog; lost writes during a leader change are the
+        only expected customers.
+        """
+        if self.crashed or self.apl is None:
+            return
+        deadline = self.now - self.retry_timeout
+        stale = [
+            record for record in self._inflight.values() if record[1] <= deadline
+        ]
+        if stale:
+            by_target: Dict[str, List[Transaction]] = {}
+            for transaction, _sent_at, target in stale:
+                by_target.setdefault(target, []).append(transaction)
+            for target, transactions in sorted(by_target.items()):
+                if target not in self._suspected:
+                    self._suspected.add(target)
+                    if target == self._leader_hint:
+                        self._leader_hint = ""  # a silent leader hint is stale
+                retry_target = self._next_read_target()
+                now = self.now
+                for transaction in transactions:
+                    self._inflight[transaction.txn_id] = (transaction, now, retry_target)
+                    self.retries += 1
+                self.apl.send(
+                    retry_target,
+                    ClientBatchRequest(transactions=tuple(transactions)),
+                )
+        self.after(self.retry_timeout / 2.0, self._sweep_retries, label=f"{self.process_id}:sweep")
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def completed_total(self) -> int:
+        """Total operations completed (same surface as WorkloadClient)."""
+        return self.completed
+
+    def backlog_size(self) -> int:
+        """Operations that have arrived but not yet been dispatched."""
+        return self._backlog_size
+
+    def queueing_delay_mean(self) -> float:
+        """Mean seconds a dispatched operation waited in the backlog."""
+        if not self.queue_delay_count:
+            return 0.0
+        return self.queue_delay_sum / self.queue_delay_count
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate open-loop statistics for result rows."""
+        return {
+            "clients": float(self.config.clients),
+            "offered": float(self.offered),
+            "dispatched": float(self.dispatched),
+            "completed": float(self.completed),
+            "backlog": float(self._backlog_size),
+            "in_flight": float(len(self._inflight)),
+            "max_in_flight": float(self.max_inflight),
+            "retries": float(self.retries),
+            "queueing_delay_mean": self.queueing_delay_mean(),
+        }
+
+
+__all__ = [
+    "ClientPopulation",
+    "POPULATION_PRESETS",
+    "PopulationConfig",
+    "population_from_dict",
+    "population_to_dict",
+    "resolve_population_preset",
+]

@@ -1,0 +1,255 @@
+"""Load shapes: time-varying arrival rates for open-loop populations.
+
+A *shape* maps virtual time (seconds since the population started) to an
+aggregate arrival rate in operations per second.  Shapes are the unit the
+open-loop workload model is parameterized by — the staged load patterns of
+large-scale traffic studies (steady state, ramp-up, flash crowd, staircase
+capacity probes, diurnal cycles) plus fully trace-driven rates.
+
+Shapes are small frozen dataclasses tagged with a ``kind`` class variable
+and serialize through :func:`shape_to_dict` / :func:`shape_from_dict`, the
+same tagged-dictionary pattern the scenario schedule events use — so a
+:class:`~repro.harness.scenario.ScenarioSpec` carrying a shape round-trips
+through JSON losslessly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import ClassVar, Dict, Tuple, Union
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ConstantShape:
+    """A steady arrival rate: ``rate`` operations per second, forever."""
+
+    kind: ClassVar[str] = "constant"
+
+    rate: float = 1000.0
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate at time ``t``."""
+        return self.rate
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on out-of-range parameters."""
+        if self.rate < 0:
+            raise WorkloadError("constant shape rate must be non-negative")
+
+
+@dataclass(frozen=True)
+class RampShape:
+    """Linear ramp from ``start_rate`` to ``end_rate`` over ``[start, end]``.
+
+    Before ``start`` the rate is ``start_rate``; after ``end`` it stays at
+    ``end_rate`` (a ramp-up-and-hold, the usual capacity-probe pattern).
+    """
+
+    kind: ClassVar[str] = "ramp"
+
+    start_rate: float = 0.0
+    end_rate: float = 2000.0
+    start: float = 0.0
+    end: float = 5.0
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate at time ``t``."""
+        if t <= self.start:
+            return self.start_rate
+        if t >= self.end:
+            return self.end_rate
+        fraction = (t - self.start) / (self.end - self.start)
+        return self.start_rate + fraction * (self.end_rate - self.start_rate)
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on out-of-range parameters."""
+        if self.start_rate < 0 or self.end_rate < 0:
+            raise WorkloadError("ramp rates must be non-negative")
+        if self.end <= self.start:
+            raise WorkloadError("ramp end must be after start")
+
+
+@dataclass(frozen=True)
+class SpikeShape:
+    """A flash crowd: ``base_rate`` with a burst to ``spike_rate``.
+
+    The burst covers ``[at, at + width]`` — the open-loop pattern closed-loop
+    clients cannot express (their offered load collapses to whatever the
+    system admits).
+    """
+
+    kind: ClassVar[str] = "spike"
+
+    base_rate: float = 1000.0
+    spike_rate: float = 5000.0
+    at: float = 2.0
+    width: float = 1.0
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate at time ``t``."""
+        if self.at <= t < self.at + self.width:
+            return self.spike_rate
+        return self.base_rate
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on out-of-range parameters."""
+        if self.base_rate < 0 or self.spike_rate < 0:
+            raise WorkloadError("spike rates must be non-negative")
+        if self.width <= 0:
+            raise WorkloadError("spike width must be positive")
+
+
+@dataclass(frozen=True)
+class StepShape:
+    """A staircase: ``initial_rate`` until the first step, then per-step rates.
+
+    ``steps`` is a tuple of ``(time, rate)`` pairs sorted by time; the rate
+    at ``t`` is the rate of the latest step at or before ``t``.
+    """
+
+    kind: ClassVar[str] = "step"
+
+    initial_rate: float = 500.0
+    steps: Tuple[Tuple[float, float], ...] = ((2.0, 1000.0), (4.0, 2000.0))
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate at time ``t``."""
+        rate = self.initial_rate
+        for step_time, step_rate in self.steps:
+            if t < step_time:
+                break
+            rate = step_rate
+        return rate
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on out-of-range parameters."""
+        if self.initial_rate < 0:
+            raise WorkloadError("step initial_rate must be non-negative")
+        previous = None
+        for step_time, step_rate in self.steps:
+            if step_rate < 0:
+                raise WorkloadError("step rates must be non-negative")
+            if previous is not None and step_time <= previous:
+                raise WorkloadError("step times must be strictly increasing")
+            previous = step_time
+
+
+@dataclass(frozen=True)
+class DiurnalShape:
+    """A sinusoidal day/night cycle compressed into simulated seconds.
+
+    ``rate(t) = mean_rate + amplitude * sin(2π (t - phase) / period)``,
+    clamped at zero.  The default 10-second period stands in for a day at
+    simulation scale.
+    """
+
+    kind: ClassVar[str] = "diurnal"
+
+    mean_rate: float = 1000.0
+    amplitude: float = 600.0
+    period: float = 10.0
+    phase: float = 0.0
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate at time ``t``."""
+        value = self.mean_rate + self.amplitude * math.sin(
+            2.0 * math.pi * (t - self.phase) / self.period
+        )
+        return max(0.0, value)
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on out-of-range parameters."""
+        if self.mean_rate < 0 or self.amplitude < 0:
+            raise WorkloadError("diurnal mean_rate and amplitude must be non-negative")
+        if self.period <= 0:
+            raise WorkloadError("diurnal period must be positive")
+
+
+@dataclass(frozen=True)
+class TraceShape:
+    """Trace-driven rates: piecewise-linear interpolation over samples.
+
+    ``points`` is a tuple of ``(time, rate)`` samples sorted by time — e.g.
+    replayed from a production traffic trace.  Before the first sample the
+    rate is the first sample's; after the last it holds the last sample's.
+    """
+
+    kind: ClassVar[str] = "trace"
+
+    points: Tuple[Tuple[float, float], ...] = ((0.0, 500.0), (5.0, 2000.0))
+
+    def rate_at(self, t: float) -> float:
+        """Arrival rate at time ``t`` (linear between samples)."""
+        points = self.points
+        if t <= points[0][0]:
+            return points[0][1]
+        for index in range(1, len(points)):
+            t1, r1 = points[index]
+            if t <= t1:
+                t0, r0 = points[index - 1]
+                fraction = (t - t0) / (t1 - t0)
+                return r0 + fraction * (r1 - r0)
+        return points[-1][1]
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` on out-of-range parameters."""
+        if not self.points:
+            raise WorkloadError("trace shape needs at least one (time, rate) sample")
+        previous = None
+        for point_time, point_rate in self.points:
+            if point_rate < 0:
+                raise WorkloadError("trace rates must be non-negative")
+            if previous is not None and point_time <= previous:
+                raise WorkloadError("trace times must be strictly increasing")
+            previous = point_time
+
+
+LoadShape = Union[ConstantShape, RampShape, SpikeShape, StepShape, DiurnalShape, TraceShape]
+
+SHAPE_TYPES: Dict[str, type] = {
+    cls.kind: cls
+    for cls in (ConstantShape, RampShape, SpikeShape, StepShape, DiurnalShape, TraceShape)
+}
+
+#: Shape fields holding ``((a, b), ...)`` tuples that JSON flattens to lists.
+_PAIR_TUPLE_FIELDS = {"steps", "points"}
+
+
+def shape_to_dict(shape: LoadShape) -> Dict[str, object]:
+    """Serialize one shape (the ``kind`` tag selects the type)."""
+    payload: Dict[str, object] = {"kind": shape.kind}
+    data = asdict(shape)
+    for name in _PAIR_TUPLE_FIELDS:
+        if name in data:
+            data[name] = [list(pair) for pair in data[name]]
+    payload.update(data)
+    return payload
+
+
+def shape_from_dict(payload: Dict[str, object]) -> LoadShape:
+    """Deserialize one shape from its tagged dictionary."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    if kind not in SHAPE_TYPES:
+        raise WorkloadError(f"unknown load shape kind {kind!r}; known: {sorted(SHAPE_TYPES)}")
+    for name in _PAIR_TUPLE_FIELDS:
+        if name in data:
+            data[name] = tuple((float(a), float(b)) for a, b in data[name])
+    return SHAPE_TYPES[kind](**data)
+
+
+__all__ = [
+    "ConstantShape",
+    "DiurnalShape",
+    "LoadShape",
+    "RampShape",
+    "SHAPE_TYPES",
+    "SpikeShape",
+    "StepShape",
+    "TraceShape",
+    "shape_from_dict",
+    "shape_to_dict",
+]

@@ -1,0 +1,515 @@
+"""Tests for the open-loop client-population subsystem.
+
+Covers the load shapes (semantics + tagged-dict round-trips), the
+population config and presets, the ScenarioSpec JSON round-trip of the new
+workload fields, fixed-seed determinism of open-loop runs per load shape,
+the read-lease state machine and its end-to-end effect, the leader-hint
+caching fix, multi-seed aggregation (mean/stddev/95% CI), and the gating
+A/B: with the whole subsystem present, the closed-loop YCSB goldens must
+stay byte-identical (no re-pin).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.consensus.interface import ReadLease
+from repro.core.messages import ClientResponse
+from repro.core.types import make_transaction
+from repro.errors import ConfigurationError, WorkloadError
+from repro.harness.builder import Scenario
+from repro.harness.runner import (
+    AGGREGATE_METRICS,
+    ResultRow,
+    ScenarioRunner,
+    aggregate_rows,
+    failed_row,
+    run_scenario,
+)
+from repro.harness.scenario import ScenarioSpec
+from repro.net.message import Envelope
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import Simulator
+from repro.workload.clients import WorkloadClient
+from repro.workload.population import (
+    POPULATION_PRESETS,
+    PopulationConfig,
+    population_from_dict,
+    population_to_dict,
+    resolve_population_preset,
+)
+from repro.workload.shapes import (
+    SHAPE_TYPES,
+    ConstantShape,
+    DiurnalShape,
+    RampShape,
+    SpikeShape,
+    StepShape,
+    TraceShape,
+    shape_from_dict,
+    shape_to_dict,
+)
+from repro.workload.ycsb import YcsbConfig, YcsbWorkload
+from tests.repin_goldens import e0_spec, load_goldens
+
+ALL_SHAPES = [
+    ConstantShape(rate=750.0),
+    RampShape(start_rate=100.0, end_rate=900.0, start=0.5, end=2.0),
+    SpikeShape(base_rate=300.0, spike_rate=1200.0, at=0.75, width=0.5),
+    StepShape(initial_rate=200.0, steps=((0.6, 600.0), (1.2, 1000.0))),
+    DiurnalShape(mean_rate=500.0, amplitude=300.0, period=1.5, phase=0.25),
+    TraceShape(points=((0.0, 200.0), (0.8, 900.0), (1.6, 400.0))),
+]
+
+
+# ---------------------------------------------------------------------- #
+# Load shapes: semantics and serialization
+# ---------------------------------------------------------------------- #
+class TestShapes:
+    def test_constant(self):
+        shape = ConstantShape(rate=123.0)
+        assert shape.rate_at(0.0) == shape.rate_at(99.0) == 123.0
+
+    def test_ramp_interpolates_and_holds(self):
+        shape = RampShape(start_rate=100.0, end_rate=300.0, start=1.0, end=3.0)
+        assert shape.rate_at(0.0) == 100.0
+        assert shape.rate_at(2.0) == pytest.approx(200.0)
+        assert shape.rate_at(10.0) == 300.0
+
+    def test_spike_window_is_half_open(self):
+        shape = SpikeShape(base_rate=100.0, spike_rate=900.0, at=2.0, width=1.0)
+        assert shape.rate_at(1.999) == 100.0
+        assert shape.rate_at(2.0) == 900.0
+        assert shape.rate_at(2.999) == 900.0
+        assert shape.rate_at(3.0) == 100.0
+
+    def test_step_takes_latest_step_at_or_before(self):
+        shape = StepShape(initial_rate=50.0, steps=((1.0, 100.0), (2.0, 200.0)))
+        assert shape.rate_at(0.5) == 50.0
+        assert shape.rate_at(1.0) == 100.0
+        assert shape.rate_at(1.9) == 100.0
+        assert shape.rate_at(5.0) == 200.0
+
+    def test_diurnal_clamps_at_zero(self):
+        shape = DiurnalShape(mean_rate=100.0, amplitude=500.0, period=4.0)
+        assert shape.rate_at(1.0) == pytest.approx(600.0)
+        assert shape.rate_at(3.0) == 0.0  # trough would be negative
+
+    def test_trace_interpolates_and_holds_endpoints(self):
+        shape = TraceShape(points=((1.0, 100.0), (3.0, 300.0)))
+        assert shape.rate_at(0.0) == 100.0
+        assert shape.rate_at(2.0) == pytest.approx(200.0)
+        assert shape.rate_at(9.0) == 300.0
+
+    def test_every_shape_round_trips_through_json(self):
+        for shape in ALL_SHAPES:
+            payload = json.loads(json.dumps(shape_to_dict(shape)))
+            rebuilt = shape_from_dict(payload)
+            assert rebuilt == shape
+            assert type(rebuilt) is type(shape)
+
+    def test_kind_registry_covers_every_shape(self):
+        assert set(SHAPE_TYPES) == {
+            "constant", "ramp", "spike", "step", "diurnal", "trace"
+        }
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            shape_from_dict({"kind": "sawtooth"})
+
+    def test_validation_rejects_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            ConstantShape(rate=-1.0).validate()
+        with pytest.raises(WorkloadError):
+            RampShape(start=2.0, end=1.0).validate()
+        with pytest.raises(WorkloadError):
+            SpikeShape(width=0.0).validate()
+        with pytest.raises(WorkloadError):
+            StepShape(steps=((2.0, 100.0), (1.0, 200.0))).validate()
+        with pytest.raises(WorkloadError):
+            DiurnalShape(period=0.0).validate()
+        with pytest.raises(WorkloadError):
+            TraceShape(points=()).validate()
+
+
+# ---------------------------------------------------------------------- #
+# Population config and presets
+# ---------------------------------------------------------------------- #
+class TestPopulationConfig:
+    def test_defaults_validate(self):
+        PopulationConfig().validate()
+
+    def test_round_trips_with_and_without_shape(self):
+        for shape in [None] + ALL_SHAPES:
+            config = PopulationConfig(clients=5000, rate=321.0, shape=shape)
+            payload = json.loads(json.dumps(population_to_dict(config)))
+            assert population_from_dict(payload) == config
+
+    def test_validation_rejects_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            PopulationConfig(clients=0).validate()
+        with pytest.raises(WorkloadError):
+            PopulationConfig(arrival="bursty").validate()
+        with pytest.raises(WorkloadError):
+            PopulationConfig(batch_window=0.0).validate()
+        with pytest.raises(WorkloadError):
+            PopulationConfig(max_outstanding=0).validate()
+        with pytest.raises(WorkloadError):
+            PopulationConfig(shape=ConstantShape(rate=-5.0)).validate()
+
+    def test_every_preset_is_valid_and_fresh(self):
+        for name in POPULATION_PRESETS:
+            config = resolve_population_preset(name)
+            config.validate()
+            # Presets are factories: resolving twice must not share state.
+            assert resolve_population_preset(name) is not config
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(WorkloadError):
+            resolve_population_preset("tsunami")
+
+    def test_copy_is_independent(self):
+        config = PopulationConfig(rate=100.0)
+        clone = config.copy()
+        clone.rate = 999.0
+        assert config.rate == 100.0
+
+
+# ---------------------------------------------------------------------- #
+# ScenarioSpec round-trip of the new workload fields
+# ---------------------------------------------------------------------- #
+class TestScenarioSpecRoundTrip:
+    def _open_spec(self, shape) -> ScenarioSpec:
+        return (
+            Scenario("roundtrip")
+            .clusters(4)
+            .open_loop(clients=12_345, shape=shape, batch_window=0.02)
+            .read_leases(True, duration=1.5)
+            .duration(1.0, warmup=0.1)
+            .seeds(3)
+            .spec()
+        )
+
+    def test_open_loop_spec_round_trips_per_shape(self):
+        for shape in ALL_SHAPES:
+            spec = self._open_spec(shape)
+            payload = json.loads(json.dumps(spec.to_dict(), sort_keys=True))
+            rebuilt = ScenarioSpec.from_dict(payload)
+            assert rebuilt.workload_model == "open"
+            assert rebuilt.population == spec.population
+            assert rebuilt.to_dict() == spec.to_dict()
+
+    def test_closed_spec_defaults_round_trip(self):
+        spec = Scenario("closed").clusters(4).duration(1.0).spec()
+        payload = json.loads(json.dumps(spec.to_dict()))
+        rebuilt = ScenarioSpec.from_dict(payload)
+        assert rebuilt.workload_model == "closed"
+        assert rebuilt.population is None
+
+    def test_invalid_workload_model_rejected(self):
+        spec = Scenario("bad").clusters(4).duration(1.0).spec()
+        spec.workload_model = "half-open"
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_unknown_population_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario("bad").clusters(4).open_loop(think_time=1.0)
+
+
+# ---------------------------------------------------------------------- #
+# Fixed-seed determinism: same seed => byte-identical ResultRows
+# ---------------------------------------------------------------------- #
+def _open_loop_row(shape, seed: int = 5) -> ResultRow:
+    spec = (
+        Scenario(f"determinism-{type(shape).kind}")
+        .clusters(4)
+        .engine("hotstuff")
+        .open_loop(clients=150_000, shape=shape)
+        .read_leases(True)
+        .duration(1.2, warmup=0.2)
+        .seeds(seed)
+        .spec()
+    )
+    return run_scenario(spec)
+
+
+class TestOpenLoopDeterminism:
+    @pytest.mark.parametrize("shape", ALL_SHAPES, ids=lambda s: type(s).kind)
+    def test_same_seed_is_byte_identical_per_shape(self, shape):
+        first = _open_loop_row(shape)
+        second = _open_loop_row(shape)
+        assert first.error is None
+        assert first.operations > 0
+        assert first.to_json() == second.to_json()
+
+    def test_different_seeds_differ(self):
+        shape = ConstantShape(rate=750.0)
+        assert _open_loop_row(shape, seed=5).to_json() != _open_loop_row(shape, seed=6).to_json()
+
+
+# ---------------------------------------------------------------------- #
+# Scale: >= 100k simulated clients per region with O(1) state
+# ---------------------------------------------------------------------- #
+class TestPopulationScale:
+    def test_100k_clients_per_region_sustained(self):
+        spec = (
+            Scenario("scale")
+            .clusters(4, 4)
+            .open_loop(preset="steady")
+            .read_leases(True)
+            .duration(2.0, warmup=0.25)
+            .seeds(11)
+            .spec()
+        )
+        deployment = spec.build()
+        metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+        assert len(deployment.populations) == 2
+        ticks = spec.duration / deployment.populations[0].config.batch_window
+        for population in deployment.populations:
+            # One aggregate process stands in for >= 100k users per region...
+            assert population.config.clients >= 100_000
+            stats = population.stats()
+            assert stats["completed"] > 0
+            # ...while per-population state stays O(ticks + in-flight), never
+            # O(clients) or O(operations).
+            assert len(population._backlog) <= ticks + 1
+            assert stats["in_flight"] <= population.config.max_outstanding
+            # The default deployment keeps up with the steady preset: the
+            # backlog does not grow without bound.
+            assert stats["backlog"] < 0.25 * stats["offered"]
+        assert metrics.committed_count() > 0
+
+    def test_offered_vs_goodput_divergence_under_overload(self):
+        # A rate far beyond what the pipelining window admits: open loop
+        # means offered load keeps arriving and the backlog absorbs the
+        # excess — the signal closed-loop clients structurally cannot
+        # produce (their offered load collapses to whatever completes).
+        spec = (
+            Scenario("overload")
+            .clusters(4)
+            .open_loop(clients=200_000, rate=30_000.0, max_outstanding=100)
+            .duration(1.0, warmup=0.1)
+            .seeds(11)
+            .spec()
+        )
+        deployment = spec.build()
+        metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+        summary = metrics.open_loop_summary()
+        population = deployment.populations[0]
+        assert summary["offered"] > 1.5 * summary["goodput"] * spec.duration
+        assert population.backlog_size() > 0
+        assert population.queueing_delay_mean() > 0.0
+        # Backlog compression: tens of thousands of queued ops, O(ticks) pairs.
+        assert len(population._backlog) <= spec.duration / population.config.batch_window + 1
+
+
+# ---------------------------------------------------------------------- #
+# Read leases
+# ---------------------------------------------------------------------- #
+class TestReadLease:
+    def test_install_and_expiry(self):
+        lease = ReadLease(duration=2.0)
+        lease.install(view_ts=1, granted_at=10.0, duration=2.0)
+        assert lease.valid(now=11.9, current_view_ts=1)
+        assert not lease.valid(now=12.0, current_view_ts=1)
+
+    def test_wrong_view_is_invalid(self):
+        lease = ReadLease()
+        lease.install(view_ts=1, granted_at=0.0, duration=5.0)
+        assert not lease.valid(now=1.0, current_view_ts=2)
+
+    def test_stale_grant_from_deposed_leader_ignored(self):
+        lease = ReadLease()
+        lease.install(view_ts=3, granted_at=0.0, duration=2.0)
+        lease.install(view_ts=1, granted_at=0.0, duration=99.0)
+        assert lease.view_ts == 3
+        assert not lease.valid(now=5.0, current_view_ts=3)
+
+    def test_view_advance_resets_expiry(self):
+        lease = ReadLease()
+        lease.install(view_ts=1, granted_at=0.0, duration=10.0)
+        lease.install(view_ts=2, granted_at=1.0, duration=2.0)
+        # The old view's generous expiry must not leak into the new view.
+        assert not lease.valid(now=5.0, current_view_ts=2)
+        assert lease.valid(now=2.9, current_view_ts=2)
+
+    def test_refresh_extends_not_shrinks(self):
+        lease = ReadLease()
+        lease.install(view_ts=1, granted_at=0.0, duration=4.0)
+        lease.install(view_ts=1, granted_at=1.0, duration=2.0)
+        assert lease.expires_at == 4.0
+
+    def test_revoke(self):
+        lease = ReadLease()
+        lease.install(view_ts=1, granted_at=0.0, duration=5.0)
+        lease.revoke()
+        assert not lease.valid(now=0.1, current_view_ts=1)
+
+    def test_leases_serve_reads_locally_end_to_end(self):
+        spec = (
+            Scenario("leases-on")
+            .clusters(4)
+            .open_loop(preset="smoke")
+            # A short lease so the first grant (half a duration after start)
+            # covers most of the run instead of its tail.
+            .read_leases(True, duration=0.4)
+            .duration(1.5, warmup=0.2)
+            .seeds(9)
+            .spec()
+        )
+        row = run_scenario(spec)
+        assert row.error is None
+        assert row.population["lease_hits"] > 0
+        # Reads are 85% of the mix and every non-leader replica holds a
+        # lease after the first grant round, so most reads must hit.
+        assert row.population["lease_hit_rate"] > 0.5
+
+    def test_leases_off_by_default(self):
+        spec = (
+            Scenario("leases-off")
+            .clusters(4)
+            .open_loop(preset="smoke")
+            .duration(1.0, warmup=0.2)
+            .seeds(9)
+            .spec()
+        )
+        row = run_scenario(spec)
+        assert row.error is None
+        assert row.population["lease_hits"] == 0
+        assert row.population["lease_misses"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# Leader-hint caching (closed-loop fix)
+# ---------------------------------------------------------------------- #
+class TestLeaderHintCaching:
+    def _client(self) -> WorkloadClient:
+        simulator = Simulator(seed=1)
+        workload = YcsbWorkload(YcsbConfig(), SeededRng(1))
+        return WorkloadClient(
+            client_id="c",
+            simulator=simulator,
+            network=None,
+            workload=workload,
+            target_replicas=["r1", "r2"],
+            threads=1,
+        )
+
+    def _respond(self, client: WorkloadClient, sender: str, hint: str) -> None:
+        thread = client.threads[0]
+        txn = make_transaction("c", sender, "read", "user1")
+        thread.outstanding_txn = txn
+        thread.awaiting = sender
+        client._by_txn[txn.txn_id] = thread
+        response = ClientResponse(txn_id=txn.txn_id, leader_hint=hint)
+        client.on_message(sender, Envelope(sender=sender, payload=response))
+
+    def test_hint_outside_initial_target_set_is_cached(self):
+        # A joiner that won leadership is not in the client's start-time
+        # target list; its hint must still route writes straight to it.
+        client = self._client()
+        self._respond(client, "r1", "joiner7")
+        assert client._leader_hint == "joiner7"
+
+    def test_suspected_hint_is_not_adopted(self):
+        client = self._client()
+        client._suspected.add("r2")
+        self._respond(client, "r1", "r2")
+        assert client._leader_hint == ""
+
+    def test_suspecting_the_cached_leader_invalidates_it(self):
+        client = self._client()
+        self._respond(client, "r1", "r2")
+        assert client._leader_hint == "r2"
+        client._suspect("r2")
+        assert client._leader_hint == ""
+
+
+# ---------------------------------------------------------------------- #
+# Multi-seed aggregation: mean, stddev, 95% CI
+# ---------------------------------------------------------------------- #
+def _row(scenario: str, seed: int, throughput: float) -> ResultRow:
+    return ResultRow(
+        scenario=scenario,
+        seed=seed,
+        engine="hotstuff",
+        preset="",
+        throughput=throughput,
+        throughput_reads=throughput * 0.85,
+        throughput_writes=throughput * 0.15,
+        latency_mean=0.01,
+        latency_read=0.01,
+        latency_write=0.02,
+        latency_p99=0.05,
+        operations=int(throughput),
+        rounds=10,
+        reconfigs_applied=0,
+        joins_completed=0,
+    )
+
+
+class TestAggregateRows:
+    def test_mean_std_ci_across_seeds(self):
+        rows = [_row("a", seed, value) for seed, value in [(1, 90.0), (2, 100.0), (3, 110.0)]]
+        (aggregate,) = aggregate_rows(rows)
+        assert aggregate.scenario == "a"
+        assert aggregate.seeds == [1, 2, 3]
+        assert aggregate.mean["throughput"] == pytest.approx(100.0)
+        assert aggregate.std["throughput"] == pytest.approx(10.0)
+        # Student t (dof=2) half-width: 4.303 * 10 / sqrt(3).
+        assert aggregate.ci95["throughput"] == pytest.approx(4.303 * 10.0 / 3**0.5)
+        assert set(aggregate.mean) == set(AGGREGATE_METRICS)
+        assert "±" in aggregate.format_metric("throughput")
+
+    def test_single_seed_has_zero_spread(self):
+        (aggregate,) = aggregate_rows([_row("solo", 1, 100.0)])
+        assert aggregate.std["throughput"] == 0.0
+        assert aggregate.ci95["throughput"] == 0.0
+
+    def test_failed_rows_excluded_but_reported(self):
+        spec = Scenario("a").clusters(4).duration(1.0).seeds(3).spec()
+        rows = [_row("a", 1, 90.0), _row("a", 2, 110.0), failed_row(spec, "boom")]
+        (aggregate,) = aggregate_rows(rows)
+        assert aggregate.seeds == [1, 2]
+        assert aggregate.failed_seeds == [3]
+        assert aggregate.mean["throughput"] == pytest.approx(100.0)
+
+    def test_groups_preserve_first_seen_order(self):
+        rows = [_row("b", 1, 10.0), _row("a", 1, 20.0), _row("b", 2, 30.0)]
+        aggregates = aggregate_rows(rows)
+        assert [a.scenario for a in aggregates] == ["b", "a"]
+
+    def test_runner_aggregate_end_to_end(self):
+        scenario = Scenario("agg-e2e").clusters(4).threads(2).duration(0.5, warmup=0.1)
+        (aggregate,) = ScenarioRunner().aggregate(scenario, seeds=[1, 2])
+        assert aggregate.seeds == [1, 2]
+        assert aggregate.failed_seeds == []
+        assert aggregate.mean["operations"] > 0
+
+
+# ---------------------------------------------------------------------- #
+# Gating A/B: closed-loop goldens stay byte-identical (NO re-pin)
+# ---------------------------------------------------------------------- #
+class TestClosedLoopGoldensAB:
+    def test_goldens_unchanged_after_open_loop_ran_in_process(self):
+        goldens = load_goldens()
+        assert goldens, "goldens_e0.json missing; run `python -m tests.repin_goldens`"
+        # Arm B first: a full open-loop run with leases in the same process,
+        # so any global-state leakage (RNG, caches, counters) from the new
+        # subsystem would poison the closed-loop run that follows.
+        open_row = _open_loop_row(ConstantShape(rate=500.0))
+        assert open_row.error is None
+        # Arm A: the pinned closed-loop E0 scenario must still match the
+        # committed goldens bit-for-bit — the new subsystem is opt-in.
+        spec = e0_spec()
+        deployment = spec.build()
+        metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+        assert metrics.summary() == goldens["summary"]
+        assert deployment.network.stats.snapshot() == goldens["network"]
+        assert deployment.simulator.events_processed == goldens["events"]
+        # And the closed-loop run never touches the open-loop counters.
+        assert metrics.offered == 0
+        assert metrics.lease_hits == metrics.lease_misses == 0
