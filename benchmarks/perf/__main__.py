@@ -7,14 +7,15 @@ speedup ratios, so the perf trajectory is a single self-describing artifact.
 
 Every run also executes the fixed-seed determinism probe
 (:mod:`benchmarks.perf.determinism`); its fingerprint lands in the report.
-``--compare`` exits non-zero **only** on a determinism mismatch (or a
-harness crash) — timing ratios are printed but never gate, per the
+``--compare`` exits non-zero **only** on a determinism mismatch, a
+serial-vs-sharded parity break, or a harness crash — timing ratios
+(including the sharded-speedup row) are printed but never gate, per the
 host-variance caveat.  This is what CI's ``perf-smoke`` job runs.
 
 Flags:
     --quick        ~10x smaller workloads (CI smoke); the probe is unaffected.
     --only NAMES   comma-separated subset:
-                   kernel,network,replica,workload,macro,population.
+                   kernel,network,replica,workload,macro,population,sharded.
     --ab PAIR      paired same-window A/B comparison (interleaved arms,
                    mean ± spread); see benchmarks/perf/ab.py.
     --output PATH  where to write the JSON (default: <repo>/BENCH_perf.json).
@@ -48,6 +49,7 @@ from benchmarks.perf import (  # noqa: E402
     network_bench,
     population_bench,
     replica_bench,
+    sharded_bench,
     workload_bench,
 )
 
@@ -58,6 +60,7 @@ _SUITES = {
     "workload": workload_bench.run,
     "macro": macro_bench.run,
     "population": population_bench.run,
+    "sharded": sharded_bench.run,
 }
 
 
@@ -157,6 +160,11 @@ def main(argv=None) -> int:
         print("[perf] DETERMINISM FAILURE: two same-seed probe runs disagreed "
               "within one process")
         return 1
+    if not probe.get("sharded_parity_identical", True):
+        print("[perf] SHARDED PARITY FAILURE: the probe scenario produced "
+              "different results serially and at shards=2 (the sharded kernel "
+              "must be a pure execution-strategy knob)")
+        return 1
     if args.record_baseline:
         _rewrite_baseline(results)
         print("[perf] baseline.py re-anchored to these results")
@@ -231,6 +239,10 @@ def _print_comparison(old_path: str, new_report: dict) -> int:
     if new_probe is not None and not new_probe.get("repeat_identical", True):
         print("[perf][compare] DETERMINISM FAILURE: the new report's probe was "
               "not repeatable")
+        return 1
+    if new_probe is not None and not new_probe.get("sharded_parity_identical", True):
+        print("[perf][compare] SHARDED PARITY FAILURE: the new report's probe "
+              "diverged between serial and shards=2 execution (gating)")
         return 1
     if old_probe is None or new_probe is None:
         print("[perf][compare] determinism: no fingerprint on one side "

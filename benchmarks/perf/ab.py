@@ -5,8 +5,9 @@ mood (thermal state, cache residency, background load) drifts between the two
 blocks, and whichever arm ran second inherits the drift.  This module runs
 the two arms *interleaved* — A B A B ... — so both sample the same window of
 machine conditions, and reports each arm's headline as mean ± sample
-standard deviation instead of a single best-of number.  A difference smaller
-than the spread is noise, and the report says so.
+standard deviation, together with a Welch's t-test p-value on the wall-clock
+samples.  A difference with p above the 0.05 threshold is noise, and the
+report says so.
 
 Pairs are registered in :data:`PAIRS`; run one with::
 
@@ -63,6 +64,36 @@ def _open_leases_spec(duration: float, seed: int):
     )
 
 
+def _geo_sweep_spec(duration: float, seed: int, shards: int = 1, parallel: bool = False):
+    """A 32-cluster geo-distributed E1-style sweep (one cluster per DC).
+
+    Every cluster sits in its own synthetic datacenter with ring-distance
+    RTTs of 60–220 ms, the paper's geo-replicated regime — and the shape
+    where conservative sharding pays off: the cross-cluster latency floor
+    (the lookahead) is tens of milliseconds, so shards synchronise rarely.
+    """
+    clusters = 32
+    builder = (
+        Scenario("ab-geo-sweep")
+        .clusters(*[(4, f"dc{i}") for i in range(clusters)])
+        .engine("hotstuff")
+        .threads(8)
+        .duration(duration, warmup=0.25)
+        .seeds(seed)
+    )
+    for i in range(clusters):
+        for j in range(i + 1, clusters):
+            ring = min(abs(i - j), clusters - abs(i - j))
+            builder = builder.rtt(f"dc{i}", f"dc{j}", 60.0 + 10.0 * ring)
+    if shards > 1:
+        builder = builder.shards(shards, parallel=parallel)
+    return builder.spec()
+
+
+def _geo_sweep_sharded_spec(duration: float, seed: int):
+    return _geo_sweep_spec(duration, seed, shards=4, parallel=True)
+
+
 #: name -> ((label_a, spec_factory_a), (label_b, spec_factory_b)).
 PAIRS: Dict[str, Tuple[Tuple[str, Callable], Tuple[str, Callable]]] = {
     "closed_open": (
@@ -73,22 +104,40 @@ PAIRS: Dict[str, Tuple[Tuple[str, Callable], Tuple[str, Callable]]] = {
         ("open-loop, no leases", _open_spec),
         ("open-loop + read leases", _open_leases_spec),
     ),
+    "sharded_sweep": (
+        ("32-cluster geo sweep, serial", _geo_sweep_spec),
+        ("32-cluster geo sweep, 4 shard workers", _geo_sweep_sharded_spec),
+    ),
 }
 
 
 def _run_once(spec_factory: Callable, duration: float, seed: int) -> Dict[str, float]:
     spec = spec_factory(duration, seed)
-    deployment = spec.build()
-    started = time.perf_counter()
-    metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
-    elapsed = time.perf_counter() - started
-    operations = metrics.committed_count()
+    if spec.shard_parallel and spec.shards > 1:
+        # Forked shard workers: fork + per-worker build land inside the
+        # timed window deliberately — that is the cost a user pays.
+        from repro.harness.parallel import run_sharded_parallel
+
+        started = time.perf_counter()
+        outcome = run_sharded_parallel(spec)
+        elapsed = time.perf_counter() - started
+        operations = outcome.metrics.committed_count()
+        events = float(outcome.events)
+        wire_messages = float(outcome.network_stats.messages_sent)
+    else:
+        deployment = spec.build()
+        started = time.perf_counter()
+        metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+        elapsed = time.perf_counter() - started
+        operations = metrics.committed_count()
+        events = float(deployment.kernel.events_processed)
+        wire_messages = float(deployment.network.stats.messages_sent)
     return {
         "wall_s": elapsed,
         "operations": float(operations),
         "ops_per_sec": operations / elapsed,
-        "events": float(deployment.simulator.events_processed),
-        "wire_messages": float(deployment.network.stats.messages_sent),
+        "events": events,
+        "wire_messages": wire_messages,
     }
 
 
@@ -98,6 +147,86 @@ def _mean_std(values: List[float]) -> Tuple[float, float]:
         return mean, 0.0
     variance = sum((value - mean) ** 2 for value in values) / (len(values) - 1)
     return mean, math.sqrt(variance)
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Lentz's method)."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 200):
+        m2 = 2 * m
+        numerator = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-12:
+            break
+    return h
+
+
+def _betainc_reg(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b)."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_front = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log(1.0 - x)
+    )
+    front = math.exp(ln_front)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def _welch_t_p(a: List[float], b: List[float]) -> Tuple[float, float]:
+    """Welch's unequal-variance t statistic and two-sided p-value.
+
+    The p-value uses the identity ``2 * sf(|t|) = I_x(df/2, 1/2)`` with
+    ``x = df / (df + t**2)`` — no SciPy dependency needed.  Returns
+    ``(nan, nan)`` when either arm has fewer than two samples, and
+    ``(0, 1)`` / ``(inf, 0)`` at the zero-variance degeneracies.
+    """
+    n_a, n_b = len(a), len(b)
+    if n_a < 2 or n_b < 2:
+        return float("nan"), float("nan")
+    mean_a, std_a = _mean_std(a)
+    mean_b, std_b = _mean_std(b)
+    var_a, var_b = std_a * std_a / n_a, std_b * std_b / n_b
+    denom = math.sqrt(var_a + var_b)
+    if denom == 0.0:
+        return (0.0, 1.0) if mean_a == mean_b else (float("inf"), 0.0)
+    t = (mean_b - mean_a) / denom
+    df = (var_a + var_b) ** 2 / (
+        var_a * var_a / (n_a - 1) + var_b * var_b / (n_b - 1)
+    )
+    p = _betainc_reg(df / 2.0, 0.5, df / (df + t * t))
+    return t, min(max(p, 0.0), 1.0)
 
 
 def run_pair(
@@ -143,18 +272,23 @@ def run_pair(
         if arms["a"]["ops_per_sec_mean"]
         else 0.0
     )
-    # A difference is only meaningful when the arms' spreads do not overlap;
-    # the report carries the verdict so readers are not tempted to quote a
+    # A difference is only meaningful when it clears the run-to-run noise;
+    # Welch's t-test on the wall-clock samples quantifies that, and the
+    # report carries the verdict so readers are not tempted to quote a
     # ratio that is inside the noise.
-    separation = abs(arms["b"]["ops_per_sec_mean"] - arms["a"]["ops_per_sec_mean"])
-    noise = arms["a"]["ops_per_sec_std"] + arms["b"]["ops_per_sec_std"]
+    welch_t, welch_p = _welch_t_p(
+        [r["wall_s"] for r in samples["a"]], [r["wall_s"] for r in samples["b"]]
+    )
+    significant = welch_p < 0.05 if not math.isnan(welch_p) else False
     return {
         "pair": name,
         "sim_duration_s": duration,
         "seed": seed,
         "arms": arms,
         "ops_per_sec_ratio": ratio,
-        "significant": separation > noise,
+        "welch_t": welch_t,
+        "welch_p": welch_p,
+        "significant": significant,
     }
 
 
@@ -172,7 +306,8 @@ def format_report(report: Dict[str, object]) -> List[str]:
         )
     verdict = "significant" if report["significant"] else "within noise"
     lines.append(
-        f"[perf][ab]   ratio (b/a): {report['ops_per_sec_ratio']:.2f}x  [{verdict}]"
+        f"[perf][ab]   ratio (b/a): {report['ops_per_sec_ratio']:.2f}x  "
+        f"(Welch t={report['welch_t']:.2f}, p={report['welch_p']:.3f})  [{verdict}]"
     )
     return lines
 

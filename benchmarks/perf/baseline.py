@@ -80,6 +80,11 @@ HEADLINE_METRICS: Dict[str, str] = {
     # Introduced with the open-loop population subsystem; no pre-optimisation
     # baseline exists (the model is new), so only the absolute rate prints.
     "population_open_loop": "ops_per_sec",
+    # Introduced with the cluster-sharded kernel; the headline is the
+    # wall-clock speedup of 4 forked shard workers over serial on the same
+    # spec.  Non-gating and host-dependent — the result row carries
+    # ``host_cores`` because the speedup is bounded by physical cores.
+    "sharded_sweep": "speedup_vs_serial",
     "replica_bundle_accounting": "messages_per_sec",
     "replica_view_churn": "lookups_per_sec",
     "workload_zipf": "draws_per_sec",

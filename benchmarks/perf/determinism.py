@@ -6,12 +6,18 @@ JSON (metrics, network counters, labels) plus the kernel event count, so
 *any* change to simulated behaviour — timing, ordering, delivery
 discipline — changes it.
 
+The probe also runs the same scenario once more with ``shards=2`` through
+the in-process conservative-parallel coordinator and compares byte-for-byte
+against the serial payload: the sharded kernel is an execution-strategy
+knob, never a semantics knob, and CI's perf-smoke job gates on that parity
+the same way it gates on repeatability.
+
 The probe is deliberately independent of ``--quick``: it always runs the
 same shape, so a quick CI run can be compared against a committed full run.
 Timing comparisons between perf reports stay non-gating (shared-runner
-noise); the determinism fingerprint is the one thing the perf-smoke job
-*fails* on, because a mismatch means behaviour drifted without a sanctioned
-golden re-pin (see ``tests/repin_goldens.py``).
+noise); the determinism fingerprint and the sharded parity verdict are the
+things the perf-smoke job *fails* on, because a mismatch means behaviour
+drifted without a sanctioned golden re-pin (see ``tests/repin_goldens.py``).
 """
 
 from __future__ import annotations
@@ -23,43 +29,58 @@ from typing import Dict
 #: caused by probe redefinition are distinguishable from behaviour drift.
 #: v2: fingerprint payload gained ``operations``; the probe now reports the
 #: wire-messages-per-committed-op invariant the compare step gates on.
-PROBE_VERSION = 2
+#: v3: cluster-sharded kernel — per-sender latency jitter streams and
+#: owner-routed cross-cluster mailboxes changed same-seed schedules
+#: (sanctioned re-pin); the probe now also gates serial-vs-sharded parity.
+PROBE_VERSION = 3
 
 
-def _probe_spec():
+def _probe_spec(shards: int = 1):
     from repro.harness.builder import Scenario
 
-    return (
+    builder = (
         Scenario("determinism-probe")
         .clusters(4, 4)
         .engine("hotstuff")
         .threads(4)
         .duration(0.75, warmup=0.1)
         .seeds(7)
-        .spec()
     )
+    if shards > 1:
+        builder = builder.shards(shards)
+    return builder.spec()
 
 
 def run_probe() -> Dict[str, object]:
-    """Run the probe twice; return fingerprint plus a repeatability verdict."""
+    """Run the probe twice plus once sharded; fingerprint and verdicts."""
     import json
 
-    def one_run() -> str:
-        spec = _probe_spec()
+    def one_run(shards: int = 1) -> str:
+        spec = _probe_spec(shards=shards)
         deployment = spec.build()
         metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
         return json.dumps(
             {
                 "summary": metrics.summary(),
                 "network": deployment.network.stats.snapshot(),
-                "events": deployment.simulator.events_processed,
+                "events": deployment.kernel.events_processed,
                 "operations": metrics.committed_count(),
             },
             sort_keys=True,
         )
 
+    def without_events(blob: str) -> str:
+        # The serial path processes its mailbox flushes as events; the
+        # sharded coordinator drains outboxes between windows instead, so
+        # the raw event count differs by design.  Everything observable —
+        # metrics, network counters, operations — must still match exactly.
+        data = json.loads(blob)
+        data.pop("events", None)
+        return json.dumps(data, sort_keys=True)
+
     first = one_run()
     second = one_run()
+    sharded = one_run(shards=2)
     payload = f"v{PROBE_VERSION}|{first}".encode("utf-8")
     data = json.loads(first)
     operations = data["operations"]
@@ -74,6 +95,8 @@ def run_probe() -> Dict[str, object]:
         "wire_messages_per_committed_op": wire / operations if operations else 0.0,
         "fingerprint": hashlib.sha256(payload).hexdigest(),
         "repeat_identical": first == second,
+        # Serial vs 2-shard coordinator, same seed: must be byte-identical.
+        "sharded_parity_identical": without_events(first) == without_events(sharded),
     }
 
 

@@ -256,6 +256,23 @@ class Scenario:
         self._seeds = [int(seed) for seed in seeds]
         return self
 
+    def shards(self, shards: int, parallel: bool = False) -> "Scenario":
+        """Pack clusters onto ``shards`` simulation shards.
+
+        Results are byte-identical for every shard count; sharding only
+        changes how the work is executed.  With ``parallel=True`` the
+        shards run in worker processes (use for large multi-cluster
+        topologies where per-shard event work dominates the barrier cost).
+        """
+        self._spec.shards = int(shards)
+        self._spec.shard_parallel = bool(parallel)
+        return self
+
+    def strict_streams(self, enabled: bool = True) -> "Scenario":
+        """Enable the RNG stream-ownership audit (raises on foreign draws)."""
+        self._spec.strict_streams = bool(enabled)
+        return self
+
     def timeseries(self, bucket: float = 1.0) -> "Scenario":
         """Collect a throughput time series with the given bucket width."""
         self._spec.timeseries_bucket = float(bucket)

@@ -19,7 +19,8 @@ from repro.errors import ConfigurationError
 from repro.harness.metrics import MetricsCollector
 from repro.net.crypto import KeyRegistry
 from repro.net.latency import LatencyModel, LatencyParameters
-from repro.net.network import Network, NetworkConfig
+from repro.net.network import Network, NetworkConfig, NetworkStats
+from repro.sim.sharded import ShardedSimulator
 from repro.sim.simulator import Simulator
 from repro.workload.clients import ReconfigurationClient, WorkloadClient
 from repro.workload.population import ClientPopulation, PopulationConfig
@@ -48,6 +49,14 @@ class DeploymentSpec:
             non-clustered baseline whose single "cluster" spans regions.
         reconfig_client_region: Region churn/reconfiguration clients are
             registered in; defaults to the first cluster's region.
+        shards: Number of simulation shards clusters are packed onto.  Each
+            shard owns its clusters' event queue, RNG streams, network ports,
+            and metrics; shards synchronise only at conservative-lookahead
+            barriers.  Fixed-seed results are byte-identical for every value
+            (clamped to the cluster count).
+        strict_streams: Enable the RNG stream-ownership audit: any draw from
+            a stream owned by one shard's kernel while another shard's kernel
+            is stepping raises ``StreamOwnershipError``.
     """
 
     clusters: Sequence[Tuple[int, str]]
@@ -63,19 +72,149 @@ class DeploymentSpec:
     replica_class: Type[HamavaReplica] = HamavaReplica
     region_overrides: Dict[str, str] = field(default_factory=dict)
     reconfig_client_region: Optional[str] = None
+    shards: int = 1
+    strict_streams: bool = False
+
+
+class Shard:
+    """One simulation shard: a serial kernel plus the state it owns.
+
+    Every mutable ingredient of the simulation — event queue, RNG streams
+    (each shard's :class:`Simulator` is seeded identically, so child streams
+    are layout-invariant), network ports and statistics, and the metrics
+    collector — hangs off exactly one shard.  Clusters are assigned
+    contiguously (``position * shards // clusters``).
+    """
+
+    __slots__ = ("index", "simulator", "network", "metrics", "clusters")
+
+    def __init__(self, index: int, simulator: Simulator, network: Network, metrics: MetricsCollector) -> None:
+        self.index = index
+        self.simulator = simulator
+        self.network = network
+        self.metrics = metrics
+        self.clusters: List[int] = []
+
+
+class _ShardedNetworkView:
+    """Network facade over all shards for callers that expect one network.
+
+    Fault-injection rules fan out to every shard (drop decisions are made on
+    the sender's shard, so each pipeline needs the rule); ``stats`` merges
+    per-shard counters on access.
+    """
+
+    def __init__(self, shards: List[Shard]) -> None:
+        self._shards = shards
+
+    @property
+    def stats(self) -> NetworkStats:
+        merged = NetworkStats()
+        for shard in self._shards:
+            merged.merge(shard.network.stats)
+        return merged
+
+    def add_drop_rule(self, rule):
+        for shard in self._shards:
+            shard.network.add_drop_rule(rule)
+        return rule
+
+    def remove_drop_rule(self, rule) -> None:
+        for shard in self._shards:
+            shard.network.remove_drop_rule(rule)
+
+    def partition(self, group_a, group_b):
+        rule = self._shards[0].network.partition(group_a, group_b)
+        for shard in self._shards[1:]:
+            shard.network.add_drop_rule(rule)
+        return rule
+
+    def process(self, process_id: str):
+        for shard in self._shards:
+            process = shard.network.process(process_id)
+            if process is not None:
+                return process
+        return None
+
+    def known_processes(self) -> List[str]:
+        return [pid for shard in self._shards for pid in shard.network.known_processes()]
 
 
 class Deployment:
-    """A runnable simulated deployment of the replicated system."""
+    """A runnable simulated deployment of the replicated system.
 
-    def __init__(self, spec: DeploymentSpec) -> None:
+    With ``spec.shards == 1`` (the default) there is one shard whose
+    simulator/network/metrics are exposed directly as ``self.simulator`` /
+    ``self.network`` / ``self.metrics`` — the historical serial surface.
+    With more shards, clusters are packed contiguously onto per-shard serial
+    kernels coordinated by a :class:`ShardedSimulator`; ``self.kernel`` is
+    the object to drive in either case.
+
+    Shard-count invariance rests on two rules.  Message routing is decided
+    by *owner cluster*, never by shard: traffic between processes of
+    different clusters always goes through the cross-shard mailbox (under
+    one shard, a barrier-aligned flush event replays the coordinator's
+    exchange), while intra-cluster traffic always takes the fused fast
+    path.  And every shard's kernel is seeded identically, so any RNG
+    stream derives the same draws wherever its owner cluster lands.
+
+    Args:
+        spec: What to build.
+        local_shard: When given, construct only that shard's processes and
+            register the rest as ghosts (placed in the latency model and key
+            registry so cross-shard envelopes sign/verify, but owning no
+            port).  Used by multiprocess shard workers; in-process callers
+            leave it ``None``.
+    """
+
+    def __init__(self, spec: DeploymentSpec, local_shard: Optional[int] = None) -> None:
         self.spec = spec
-        self.simulator = Simulator(seed=spec.seed)
-        self.registry = KeyRegistry(seed=spec.seed)
-        self.latency_model = LatencyModel(self.simulator.rng, spec.latency)
-        self.network = Network(self.simulator, self.latency_model, self.registry, spec.network)
-        self.metrics = MetricsCollector()
         self.system_config = SystemConfig.build(spec.clusters)
+        cluster_ids = self.system_config.cluster_ids()
+        self.num_shards = max(1, min(int(spec.shards or 1), len(cluster_ids)))
+        self.local_shard = local_shard
+        self.registry = KeyRegistry(seed=spec.seed)
+        #: process id -> owner cluster id; shared with (and read by) every
+        #: shard's delivery pipeline, so it must be fully populated before
+        #: any process registers a port.
+        self._owners: Dict[str, int] = {}
+        self._shard_of_cluster: Dict[int, int] = {}
+        for position, cluster_id in enumerate(cluster_ids):
+            self._shard_of_cluster[cluster_id] = position * self.num_shards // len(cluster_ids)
+        self._lookahead: Optional[float] = None
+        self._lookahead_resolved = False
+
+        self.shards: List[Shard] = []
+        latency_model: Optional[LatencyModel] = None
+        for index in range(self.num_shards):
+            simulator = Simulator(seed=spec.seed, strict_streams=spec.strict_streams)
+            if latency_model is None:
+                # One shared topology/placement model, built from shard 0's
+                # RNG so its jitter stream (used by direct one_way_latency
+                # callers, not the pipeline) keeps its historical namespace.
+                latency_model = LatencyModel(simulator.rng, spec.latency)
+            network = Network(simulator, latency_model, self.registry, spec.network)
+            network.pipeline.owners = self._owners
+            network.pipeline.lookahead_provider = self._cross_cluster_lookahead
+            self.shards.append(Shard(index, simulator, network, MetricsCollector()))
+        self.latency_model = latency_model
+        self.simulator = self.shards[0].simulator
+        if self.num_shards == 1:
+            self.network: object = self.shards[0].network
+            self.metrics = self.shards[0].metrics
+            self.kernel: object = self.simulator
+        else:
+            for shard in self.shards:
+                shard.network.pipeline.self_flush = False
+            self.network = _ShardedNetworkView(self.shards)
+            self.metrics = MetricsCollector()
+            self.kernel = ShardedSimulator(
+                [shard.simulator for shard in self.shards],
+                [shard.network.pipeline for shard in self.shards],
+                self._shard_of_process,
+                self._cross_cluster_lookahead,
+            )
+
         self.replicas: Dict[str, HamavaReplica] = {}
         self.clients: List[WorkloadClient] = []
         self.populations: List[ClientPopulation] = []
@@ -85,21 +224,69 @@ class Deployment:
         self._build()
 
     # ------------------------------------------------------------------ #
+    # Shard topology
+    # ------------------------------------------------------------------ #
+    def shard_of_cluster(self, cluster_id: int) -> Shard:
+        """The shard that owns a cluster's replicas and clients."""
+        return self.shards[self._shard_of_cluster[cluster_id]]
+
+    def _shard_of_process(self, process_id: str) -> int:
+        return self._shard_of_cluster[self._owners[process_id]]
+
+    def simulator_for(self, process_id: str) -> Simulator:
+        """The kernel events touching ``process_id`` must be scheduled on."""
+        cluster_id = self._owners.get(process_id)
+        if cluster_id is None:
+            return self.simulator
+        return self.shards[self._shard_of_cluster[cluster_id]].simulator
+
+    def _cross_cluster_lookahead(self) -> Optional[float]:
+        """Conservative lookahead: the cross-cluster latency floor.
+
+        Resolved once, lazily, at the first barrier computation — after RTT
+        overrides and scheduled joiners have placed every process.  The
+        single-shard flush and the multi-shard coordinator both call this,
+        so they walk the same barrier grid.
+        """
+        if not self._lookahead_resolved:
+            self._lookahead = self.latency_model.min_cross_group_floor(self._owners)
+            self._lookahead_resolved = True
+        return self._lookahead
+
+    # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
+    def _client_prefix(self) -> str:
+        return "population" if self.spec.workload_model == "open" else "client"
+
     def _build(self) -> None:
         spec = self.spec
+        prefix = self._client_prefix()
+        # Fill the owner map for the whole topology first: ports snapshot
+        # their owner at registration, and replicas register themselves in
+        # their constructor, so every process id must be claimable before
+        # the first replica is built.
         for cluster_id in self.system_config.cluster_ids():
+            for replica_id in self.system_config.members(cluster_id):
+                self._owners[replica_id] = cluster_id
+            for client_index in range(spec.clients_per_cluster):
+                self._owners[f"{prefix}{cluster_id}.{client_index}"] = cluster_id
+        for cluster_id in self.system_config.cluster_ids():
+            shard = self.shard_of_cluster(cluster_id)
+            shard.clusters.append(cluster_id)
+            if self.local_shard is not None and shard.index != self.local_shard:
+                self._register_ghost_cluster(cluster_id)
+                continue
             members = self.system_config.members(cluster_id)
             for index, replica_id in enumerate(members):
                 replica = spec.replica_class(
                     replica_id=replica_id,
                     cluster_id=cluster_id,
                     system_config=self.system_config,
-                    network=self.network,
-                    simulator=self.simulator,
+                    network=shard.network,
+                    simulator=shard.simulator,
                     config=spec.config,
-                    metrics=self.metrics,
+                    metrics=shard.metrics,
                 )
                 replica.is_reporter = index == 0
                 region = spec.region_overrides.get(replica_id)
@@ -108,43 +295,62 @@ class Deployment:
                 self.replicas[replica_id] = replica
             for client_index in range(spec.clients_per_cluster):
                 if spec.workload_model == "open":
-                    self._build_population(cluster_id, client_index)
+                    self._build_population(shard, cluster_id, client_index)
                 else:
-                    self._build_client(cluster_id, client_index)
+                    self._build_client(shard, cluster_id, client_index)
 
-    def _build_client(self, cluster_id: int, client_index: int) -> None:
+    def _register_ghost_cluster(self, cluster_id: int) -> None:
+        """Place and key a remote shard's processes without building them.
+
+        A multiprocess shard worker still needs every remote process in the
+        shared latency model (pair constants, lookahead floor) and in the
+        key registry (verifying signatures on cross-shard envelopes); it
+        must *not* own their ports or schedule their events.
+        """
+        spec = self.spec
+        region = self.system_config.region_of_cluster(cluster_id)
+        for replica_id in self.system_config.members(cluster_id):
+            self.latency_model.place(replica_id, spec.region_overrides.get(replica_id, region))
+            self.registry.register(replica_id)
+        prefix = self._client_prefix()
+        for client_index in range(spec.clients_per_cluster):
+            client_id = f"{prefix}{cluster_id}.{client_index}"
+            self.latency_model.place(client_id, region)
+            self.registry.register(client_id)
+
+    def _build_client(self, shard: Shard, cluster_id: int, client_index: int) -> None:
         spec = self.spec
         client_id = f"client{cluster_id}.{client_index}"
-        workload = YcsbWorkload(spec.workload, self.simulator.rng.child(f"workload/{client_id}"))
+        workload = YcsbWorkload(spec.workload, shard.simulator.rng.child(f"workload/{client_id}"))
         client = WorkloadClient(
             client_id=client_id,
-            simulator=self.simulator,
-            network=self.network,
+            simulator=shard.simulator,
+            network=shard.network,
             workload=workload,
             target_replicas=self.system_config.members(cluster_id),
             threads=spec.client_threads,
-            metrics=self.metrics,
+            metrics=shard.metrics,
             retry_timeout=spec.config.retry_timeout,
         )
-        self.network.register(client, self.system_config.region_of_cluster(cluster_id))
+        shard.network.register(client, self.system_config.region_of_cluster(cluster_id))
         self.clients.append(client)
 
-    def _build_population(self, cluster_id: int, client_index: int) -> None:
+    def _build_population(self, shard: Shard, cluster_id: int, client_index: int) -> None:
         spec = self.spec
         client_id = f"population{cluster_id}.{client_index}"
-        workload = YcsbWorkload(spec.workload, self.simulator.rng.child(f"workload/{client_id}"))
+        workload = YcsbWorkload(spec.workload, shard.simulator.rng.child(f"workload/{client_id}"))
         config = spec.population.copy() if spec.population is not None else PopulationConfig()
         population = ClientPopulation(
             client_id=client_id,
-            simulator=self.simulator,
-            network=self.network,
+            simulator=shard.simulator,
+            network=shard.network,
             workload=workload,
             target_replicas=self.system_config.members(cluster_id),
             config=config,
-            metrics=self.metrics,
+            metrics=shard.metrics,
             retry_timeout=spec.config.retry_timeout,
         )
-        self.network.register(population, self.system_config.region_of_cluster(cluster_id))
+        shard.network.register(population, self.system_config.region_of_cluster(cluster_id))
         self.populations.append(population)
 
     # ------------------------------------------------------------------ #
@@ -185,11 +391,32 @@ class Deployment:
         thresholds = gc.get_threshold()
         gc.set_threshold(100_000, thresholds[1], thresholds[2])
         try:
-            self.simulator.run_for(duration)
+            self.kernel.run_for(duration)
         finally:
             gc.set_threshold(*thresholds)
-        self.metrics.set_window(warmup, self.simulator.now)
+        self.finalize_metrics()
+        self.metrics.set_window(warmup, self.kernel.now)
         return self.metrics
+
+    def finalize_metrics(self) -> None:
+        """Impose the canonical record order (merging shards first if any).
+
+        Rebuilt from the per-shard collectors on every call, so repeated
+        ``run()`` calls stay cumulative exactly like the serial path.
+        """
+        if self.num_shards == 1:
+            self.metrics.canonicalize()
+            return
+        master = self.metrics
+        master.transactions = []
+        master.rounds = []
+        master.reconfigs = []
+        master.joins_completed = []
+        master._completion_times = []
+        master.offered = 0
+        master.lease_hits = 0
+        master.lease_misses = 0
+        master.merge_from([shard.metrics for shard in self.shards])
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -228,28 +455,39 @@ class Deployment:
         at_time: float,
         replica_id: Optional[str] = None,
         region: Optional[str] = None,
-    ) -> HamavaReplica:
+    ) -> Optional[HamavaReplica]:
         """Create an idle replica that will request to join ``cluster_id``.
 
-        Returns the new replica so callers can inspect it after the run.
+        Returns the new replica so callers can inspect it after the run
+        (``None`` from a shard worker when another shard owns the cluster).
         """
         self._joiner_count += 1
         replica_id = replica_id or f"joiner{self._joiner_count}"
+        shard = self.shard_of_cluster(cluster_id)
+        # Joiners are owned by the cluster they join — in every shard
+        # layout, including the serial one, so their cross-cluster traffic
+        # is mailboxed identically everywhere.
+        self._owners[replica_id] = cluster_id
+        if self.local_shard is not None and shard.index != self.local_shard:
+            placement = region or self.system_config.region_of_cluster(cluster_id)
+            self.latency_model.place(replica_id, placement)
+            self.registry.register(replica_id)
+            return None
         replica = self.spec.replica_class(
             replica_id=replica_id,
             cluster_id=cluster_id,
             system_config=self.system_config,
-            network=self.network,
-            simulator=self.simulator,
+            network=shard.network,
+            simulator=shard.simulator,
             config=self.spec.config,
-            metrics=self.metrics,
+            metrics=shard.metrics,
             mode=MODE_IDLE,
         )
         if region is not None:
             self.latency_model.place(replica_id, region)
         self.replicas[replica_id] = replica
         replica.start()
-        self.simulator.schedule_at(
+        shard.simulator.schedule_at(
             at_time,
             lambda r=replica, cid=cluster_id: r.request_join(cid),
             label=f"join:{replica_id}",
@@ -258,8 +496,10 @@ class Deployment:
 
     def schedule_leave(self, replica_id: str, at_time: float) -> None:
         """Schedule an existing replica's leave request."""
+        if replica_id not in self.replicas and self.local_shard is not None:
+            return  # owned by another shard's worker process
         replica = self.replica(replica_id)
-        self.simulator.schedule_at(
+        self.simulator_for(replica_id).schedule_at(
             at_time, replica.request_leave, label=f"leave:{replica_id}"
         )
 
@@ -270,12 +510,22 @@ class Deployment:
         ``reconfig_client_region``, else the first cluster's region — so
         multi-region deployments place churn next to the clusters they churn
         instead of a hard-coded location.
+
+        Churn clients always live on shard 0 and are *owned* by the first
+        cluster (the owner decides mailbox-vs-fused routing, so it must be
+        the same in every shard layout); construct them against
+        ``deployment.simulator``, which is shard 0's kernel.
         """
         if region is None:
             region = self.spec.reconfig_client_region
         if region is None:
             region = self.system_config.region_of_cluster(self.system_config.cluster_ids()[0])
-        self.network.register(client, region)
+        self._owners[client.process_id] = self.system_config.cluster_ids()[0]
+        if self.local_shard is not None and self.local_shard != 0:
+            self.latency_model.place(client.process_id, region)
+            self.registry.register(client.process_id)
+            return
+        self.shards[0].network.register(client, region)
         self.reconfig_clients.append(client)
         if self._started:
             client.start()

@@ -65,10 +65,16 @@ class FaultInjector:
     # ------------------------------------------------------------------ #
     # Crash faults
     # ------------------------------------------------------------------ #
+    def _cluster_simulator(self, cluster_id: int):
+        """The kernel owning a cluster — cluster-scoped faults fire there."""
+        return self.deployment.shard_of_cluster(cluster_id).simulator
+
     def crash_replica(self, replica_id: str, at_time: float) -> None:
         """Crash-stop one replica at the given virtual time."""
+        if replica_id not in self.deployment.replicas and self.deployment.local_shard is not None:
+            return  # the replica lives on another shard's worker process
         replica = self.deployment.replica(replica_id)
-        self.deployment.simulator.schedule_at(
+        self.deployment.simulator_for(replica_id).schedule_at(
             at_time, replica.crash, label=f"fault:crash:{replica_id}"
         )
         self.injected.append(f"crash {replica_id} @ {at_time}")
@@ -88,7 +94,7 @@ class FaultInjector:
                 if replica is not None:
                     replica.crash()
 
-        self.deployment.simulator.schedule_at(
+        self._cluster_simulator(cluster_id).schedule_at(
             at_time, _crash_current, label=f"fault:crash-followers:c{cluster_id}"
         )
         victims = self._pick_non_leaders(cluster_id, count)
@@ -104,7 +110,7 @@ class FaultInjector:
             if replica is not None:
                 replica.crash()
 
-        self.deployment.simulator.schedule_at(
+        self._cluster_simulator(cluster_id).schedule_at(
             at_time, _crash_current, label=f"fault:crash-leader:c{cluster_id}"
         )
         _, leader = self._cluster_state(cluster_id)
@@ -129,7 +135,7 @@ class FaultInjector:
             if replica is not None:
                 replica.byzantine.silent_inter_after = at_time
 
-        self.deployment.simulator.schedule_at(
+        self._cluster_simulator(cluster_id).schedule_at(
             at_time, _silence_current, label=f"fault:silent-inter:c{cluster_id}"
         )
         _, leader_id = self._cluster_state(cluster_id)
@@ -161,13 +167,25 @@ class FaultInjector:
                 return cluster_side(destination) == cluster_a
             return False
 
-        def _install() -> None:
-            deployment.network.add_drop_rule(rule)
-            deployment.simulator.schedule(
-                duration, lambda: deployment.network.remove_drop_rule(rule), label="fault:heal"
-            )
+        # Install (and heal) on every shard at that shard's *own* virtual
+        # time: drop decisions are made sender-side, and a shard may be up
+        # to one lookahead window ahead of or behind its peers in wall
+        # order, so a single global install event would misclassify the
+        # other shards' sends near the boundary.
+        def _schedule_on(shard) -> None:
+            network = shard.network
+            simulator = shard.simulator
 
-        deployment.simulator.schedule_at(at_time, _install, label="fault:partition")
+            def _install() -> None:
+                network.add_drop_rule(rule)
+                simulator.schedule(
+                    duration, lambda: network.remove_drop_rule(rule), label="fault:heal"
+                )
+
+            simulator.schedule_at(at_time, _install, label="fault:partition")
+
+        for shard in deployment.shards:
+            _schedule_on(shard)
         self.injected.append(f"partition c{cluster_a}/c{cluster_b} @ {at_time} for {duration}")
 
 

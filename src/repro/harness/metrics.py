@@ -160,6 +160,44 @@ class MetricsCollector:
         self.lease_misses += misses
 
     # ------------------------------------------------------------------ #
+    # Canonical ordering and sharded merging
+    # ------------------------------------------------------------------ #
+    def canonicalize(self) -> None:
+        """Sort every record list into its canonical (virtual-time) order.
+
+        Float folds over these lists (mean latency, stage sums) are
+        order-sensitive, so byte-identical serial-vs-sharded results require
+        one canonical order imposed on *both*.  Each key is a total order:
+        ``(client_id, txn_id)`` is unique per transaction, ``(cluster_id,
+        round_number)`` per round.  The harness calls this once per run,
+        after the clock stops.
+        """
+        self.transactions.sort(key=lambda r: (r.completed_at, r.client_id, r.txn_id))
+        self._completion_times = [r.completed_at for r in self.transactions]
+        self.rounds.sort(key=lambda r: (r.started_at, r.cluster_id, r.round_number))
+        self.reconfigs.sort(
+            key=lambda r: (r.applied_at, r.cluster_id, r.round_number, r.kind, r.process_id)
+        )
+        self.joins_completed.sort(key=lambda entry: (entry[2], entry[0], entry[1]))
+
+    def merge_from(self, others: "List[MetricsCollector]") -> None:
+        """Fold per-shard collectors into this one (then canonicalise).
+
+        Record lists concatenate and re-sort; the open-loop counters are
+        plain ints, so summation is order-free.  The result is identical to
+        what a single collector would have recorded serially.
+        """
+        for other in others:
+            self.transactions.extend(other.transactions)
+            self.rounds.extend(other.rounds)
+            self.reconfigs.extend(other.reconfigs)
+            self.joins_completed.extend(other.joins_completed)
+            self.offered += other.offered
+            self.lease_hits += other.lease_hits
+            self.lease_misses += other.lease_misses
+        self.canonicalize()
+
+    # ------------------------------------------------------------------ #
     # Measurement window
     # ------------------------------------------------------------------ #
     def set_window(self, start: float, end: Optional[float] = None) -> None:

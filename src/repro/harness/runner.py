@@ -80,20 +80,48 @@ class ResultRow:
 
 
 def run_scenario(spec: ScenarioSpec) -> ResultRow:
-    """Build, execute, and summarize one scenario spec."""
+    """Build, execute, and summarize one scenario spec.
+
+    ``shard_parallel`` specs run their shards in worker processes; the
+    resulting row is byte-identical to the in-process (serial or sharded)
+    execution of the same spec.
+    """
+    if spec.shard_parallel and spec.shards > 1:
+        from repro.harness.parallel import run_sharded_parallel
+
+        outcome = run_sharded_parallel(spec)
+        return _build_row(
+            spec, outcome.metrics, outcome.network_stats, outcome.population_stats, outcome.engine
+        )
     deployment = spec.build()
     metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+    return _build_row(
+        spec,
+        metrics,
+        deployment.network.stats,
+        [population.stats() for population in deployment.populations],
+        deployment.spec.config.engine,
+    )
+
+
+def _build_row(
+    spec: ScenarioSpec,
+    metrics,
+    network_stats,
+    population_stats: List[Dict[str, float]],
+    engine: str,
+) -> ResultRow:
     summary = metrics.summary()
     population: Optional[Dict[str, float]] = None
-    if deployment.populations:
+    if population_stats:
         # Open-loop extras: per-population counters summed across regions,
         # plus the collector's offered-vs-goodput and lease numbers.
         population = dict(metrics.open_loop_summary())
         totals: Dict[str, float] = {}
-        for pop in deployment.populations:
-            for key, value in pop.stats().items():
+        for stats in population_stats:
+            for key, value in stats.items():
                 totals[key] = totals.get(key, 0.0) + value
-        count = len(deployment.populations)
+        count = len(population_stats)
         totals["queueing_delay_mean"] = totals.get("queueing_delay_mean", 0.0) / count
         population.update(totals)
     series: Optional[List[List[float]]] = None
@@ -107,7 +135,7 @@ def run_scenario(spec: ScenarioSpec) -> ResultRow:
     return ResultRow(
         scenario=spec.name,
         seed=spec.seed,
-        engine=deployment.spec.config.engine,
+        engine=engine,
         preset=spec.preset,
         throughput=summary["throughput_total"],
         throughput_reads=summary["throughput_reads"],
@@ -124,8 +152,8 @@ def run_scenario(spec: ScenarioSpec) -> ResultRow:
         stages=metrics.stage_breakdown() if spec.collect_stages else None,
         series=series,
         network={
-            **deployment.network.stats.snapshot(),
-            "link_latency_mean_ms": deployment.network.stats.mean_link_latency() * 1000.0,
+            **network_stats.snapshot(),
+            "link_latency_mean_ms": network_stats.mean_link_latency() * 1000.0,
         },
         population=population,
     )
@@ -379,11 +407,30 @@ class ScenarioRunner:
             # survives to_dict()/from_dict() losslessly — including failed
             # rows, which surface the crash per seed on both paths.
             return [run_scenario_safe(spec) for spec in specs]
-        payloads = [spec.to_dict() for spec in specs]
-        context = multiprocessing.get_context(self.mp_context)
-        with context.Pool(processes=min(self.workers, len(payloads))) as pool:
-            results = pool.map(_run_payload, payloads)
-        return [ResultRow.from_dict(result) for result in results]
+        # Shard-parallel specs fork their own per-shard worker processes;
+        # daemonic pool workers cannot fork children, so those specs run in
+        # this (parent) process while the rest of the grid uses the pool.
+        pooled = [
+            (index, spec)
+            for index, spec in enumerate(specs)
+            if not (spec.shard_parallel and spec.shards > 1)
+        ]
+        results: List[Optional[ResultRow]] = [None] * len(specs)
+        if pooled:
+            payloads = [spec.to_dict() for _, spec in pooled]
+            context = multiprocessing.get_context(self.mp_context)
+            with context.Pool(processes=min(self.workers, len(payloads))) as pool:
+                # chunksize=1 schedules every (scenario, seed) cell as its
+                # own task: the default chunking hands each worker a
+                # contiguous block up front, so one slow scenario serialises
+                # its whole block behind it while other workers sit idle.
+                mapped = pool.map(_run_payload, payloads, chunksize=1)
+            for (index, _), result in zip(pooled, mapped):
+                results[index] = ResultRow.from_dict(result)
+        for index, spec in enumerate(specs):
+            if results[index] is None:
+                results[index] = run_scenario_safe(spec)
+        return results
 
     def aggregate(
         self,

@@ -311,6 +311,14 @@ class ScenarioSpec:
             coordinates a figure plots against).
         replica_class: Replica implementation: a class, a ``"module:Class"``
             path, or ``None`` to use the preset's class.
+        shards: Simulation shards clusters are packed onto (clamped to the
+            cluster count).  Results are byte-identical for every value;
+            more shards only changes wall-clock behaviour.
+        shard_parallel: Run shards in worker *processes* (true parallelism)
+            instead of interleaving them in-process.  Requires
+            ``shards > 1``; results remain byte-identical.
+        strict_streams: Enable the RNG stream-ownership audit (draws from a
+            foreign shard's streams raise ``StreamOwnershipError``).
     """
 
     name: str = "scenario"
@@ -337,6 +345,9 @@ class ScenarioSpec:
     collect_stages: bool = False
     labels: Dict[str, object] = field(default_factory=dict)
     replica_class: Union[None, str, type] = None
+    shards: int = 1
+    shard_parallel: bool = False
+    strict_streams: bool = False
 
     # ------------------------------------------------------------------ #
     # Derivations
@@ -385,6 +396,8 @@ class ScenarioSpec:
             )
         if self.population is not None:
             self.population.validate()
+        if self.shards < 1:
+            raise ConfigurationError(f"scenario {self.name!r}: shards must be >= 1, not {self.shards}")
         cluster_count = len(self.clusters)
         for event in self.schedule:
             clusters: Sequence[int] = ()
@@ -418,8 +431,12 @@ class ScenarioSpec:
     # ------------------------------------------------------------------ #
     # Compilation and execution
     # ------------------------------------------------------------------ #
-    def build(self):
-        """Compile this spec into a runnable :class:`Deployment`."""
+    def build(self, local_shard: Optional[int] = None):
+        """Compile this spec into a runnable :class:`Deployment`.
+
+        ``local_shard`` restricts construction to one shard's processes
+        (multiprocess shard workers rebuild the same spec per worker).
+        """
         from repro.harness.deployment import Deployment, DeploymentSpec
 
         self.validate()
@@ -437,8 +454,10 @@ class ScenarioSpec:
             replica_class=self.compiled_replica_class(),
             region_overrides=dict(self.region_overrides),
             reconfig_client_region=self.churn_client_region,
+            shards=self.shards,
+            strict_streams=self.strict_streams,
         )
-        deployment = Deployment(deployment_spec)
+        deployment = Deployment(deployment_spec, local_shard=local_shard)
         for region_a, region_b, rtt_ms in self.rtt_overrides:
             deployment.latency_model.set_rtt(region_a, region_b, rtt_ms)
         apply_schedule(deployment, self)
@@ -487,6 +506,9 @@ class ScenarioSpec:
             "collect_stages": self.collect_stages,
             "labels": dict(self.labels),
             "replica_class": replica_class,
+            "shards": self.shards,
+            "shard_parallel": self.shard_parallel,
+            "strict_streams": self.strict_streams,
         }
 
     @classmethod

@@ -121,6 +121,20 @@ class Signature:
     def __repr__(self) -> str:
         return f"Sig({self.signer},{self.token})"
 
+    def __getstate__(self):
+        # Cross-process shipping (multiprocess shard workers): materialise a
+        # lazy token — the module-level ``_LAZY`` sentinel would lose its
+        # identity across pickling — and drop the ``verified_by`` memo,
+        # whose registry holds unpicklable keyed-hasher prototypes.  The
+        # receiving worker's registry is a deterministic twin (secrets are
+        # derived from ``(seed, process_id)``), so verification over there
+        # re-derives the identical token and re-memoises.
+        return (self.signer, self.digest, self.token)
+
+    def __setstate__(self, state) -> None:
+        self.signer, self.digest, self._token = state
+        self.verified_by = None
+
 
 @dataclass
 class Certificate:
@@ -167,6 +181,17 @@ class Certificate:
     def copy(self) -> "Certificate":
         """Shallow copy (signatures are immutable)."""
         return Certificate(self.digest, self.kind, dict(self.signatures))
+
+    def __getstate__(self):
+        # The positive-validation memo is keyed by registry identity, which
+        # does not survive a process boundary; drop it so the receiving
+        # shard worker re-validates against its own registry twin.
+        state = dict(self.__dict__)
+        state.pop("_valid_cache", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
 
 
 class KeyRegistry:

@@ -118,6 +118,10 @@ class LatencyModel:
         #: dicts, so the per-message lookup allocates no key tuple);
         #: invalidated whenever a placement or the RTT table changes.
         self._pair_base: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        #: Called (no args) whenever the memo above is invalidated, so
+        #: downstream caches derived from it — the delivery pipeline's
+        #: per-port route memos — are torn down in the same breath.
+        self._invalidate_hooks: list = []
         # Model constants are immutable after construction; bind them once.
         params = self.parameters
         self._jitter_fraction = params.jitter_fraction
@@ -131,6 +135,8 @@ class LatencyModel:
         """Record the region a process runs in."""
         self._locations[process_id] = canonical_region(region)
         self._pair_base.clear()
+        for hook in self._invalidate_hooks:
+            hook()
 
     def region_of(self, process_id: str) -> Region:
         """The region a process was placed in (default: us-west1)."""
@@ -143,6 +149,8 @@ class LatencyModel:
         self._rtt_table[(a, b)] = rtt_ms
         self._rtt_table[(b, a)] = rtt_ms
         self._pair_base.clear()
+        for hook in self._invalidate_hooks:
+            hook()
 
     def rtt_ms(self, a: Region, b: Region) -> float:
         """RTT between two regions under the current table."""
@@ -182,6 +190,72 @@ class LatencyModel:
         if latency < per_message_overhead:
             latency = per_message_overhead
         return latency + per_message_overhead
+
+    def pair_params(self, src: str, dst: str) -> Tuple[float, float]:
+        """The memoised ``(base, jitter spread)`` of a process pair — no draw.
+
+        The delivery pipeline owns one jitter stream per *sender* (so a
+        sender's draw sequence depends only on its own send order, which is
+        invariant under kernel sharding) and resolves the pair constants
+        through this method; :meth:`one_way_latency` remains for callers that
+        want the model's own stream to do the drawing.
+        """
+        by_src = self._pair_base.get(src)
+        if by_src is None:
+            by_src = self._pair_base[src] = {}
+        pair = by_src.get(dst)
+        if pair is None:
+            src_region = self.region_of(src)
+            dst_region = self.region_of(dst)
+            if src_region == dst_region:
+                base = self.parameters.intra_region_latency
+            else:
+                base = self.rtt_ms(src_region, dst_region) / 2.0 / 1000.0
+            pair = by_src[dst] = (base, base * self._jitter_fraction)
+        return pair
+
+    def min_cross_group_floor(self, groups: Mapping[str, object]) -> Optional[float]:
+        """Smallest possible one-way latency between processes of different groups.
+
+        ``groups`` maps process ids to an opaque group key (the sharded
+        kernel passes owner-cluster ids).  The result is the conservative
+        lookahead of the parallel kernel: no message sent between groups can
+        arrive sooner than this.  The arithmetic mirrors the delivery
+        pipeline's clamp exactly — ``max(base - spread, overhead) +
+        overhead`` with a zero-size transfer — using the same float
+        expressions, so the bound is tight *and* safe (the pipeline's jitter
+        draw is ``base + ((spread + spread) * r - spread)`` with ``r >= 0``,
+        and float addition is monotone).  Returns ``None`` when no two
+        processes belong to different groups (no cross-group traffic is
+        possible, hence no synchronisation barrier is needed).
+        """
+        regions_by_group: Dict[object, set] = {}
+        for process_id, group in groups.items():
+            regions_by_group.setdefault(group, set()).add(self.region_of(process_id))
+        keys = sorted(regions_by_group, key=repr)
+        overhead = self._per_message_overhead
+        best: Optional[float] = None
+        for index, group_a in enumerate(keys):
+            for group_b in keys[index + 1:]:
+                for region_a in regions_by_group[group_a]:
+                    for region_b in regions_by_group[group_b]:
+                        if region_a == region_b:
+                            base = self.parameters.intra_region_latency
+                        else:
+                            base = self.rtt_ms(region_a, region_b) / 2.0 / 1000.0
+                        spread = base * self._jitter_fraction
+                        if base == 0:
+                            # The pipeline skips the jitter draw entirely for
+                            # zero-base pairs; latency is the clamped transfer.
+                            floor = overhead
+                        else:
+                            floor = base - spread
+                            if floor < overhead:
+                                floor = overhead
+                        floor = floor + overhead
+                        if best is None or floor < best:
+                            best = floor
+        return best
 
     def pairs(self) -> Iterable[Tuple[Region, Region]]:
         """All region pairs known to the model."""

@@ -109,10 +109,14 @@ class NetworkStats:
     the sender crashed within the same instant — still count as dropped).
     ``by_type`` is a census of every send, loop-back included.
 
-    ``link_latency_sum`` / ``link_latency_count`` aggregate the latency-model
-    draw of every *scheduled* wire message; loop-backs are excluded by
-    construction, so per-link latency analyses (E2) are not diluted by 0 ms
-    self-deliveries.
+    ``link_latency`` aggregates the latency-model draw of every *scheduled*
+    wire message as per-sender ``[sum, count]`` accumulators; loop-backs are
+    excluded by construction, so per-link latency analyses (E2) are not
+    diluted by 0 ms self-deliveries.  The accumulators are per sender — not
+    one global float pair — because float addition is order-sensitive: a
+    sender's draws are added in its own send order (invariant under kernel
+    sharding), and cross-sender folds always run in sorted sender order, so
+    a sharded run's merged stats are bit-identical to the serial run's.
     """
 
     messages_sent: int = 0
@@ -120,15 +124,43 @@ class NetworkStats:
     messages_dropped: int = 0
     bytes_sent: int = 0
     loopback_messages: int = 0
-    link_latency_sum: float = 0.0
-    link_latency_count: int = 0
+    link_latency: Dict[str, List] = field(default_factory=dict)
     by_type: Counter = field(default_factory=Counter)
+
+    @property
+    def link_latency_sum(self) -> float:
+        """Total latency-model delay (seconds), folded in sorted sender order."""
+        link_latency = self.link_latency
+        return sum(link_latency[sender][0] for sender in sorted(link_latency))
+
+    @property
+    def link_latency_count(self) -> int:
+        """Number of scheduled wire messages with a latency draw."""
+        return sum(acc[1] for acc in self.link_latency.values())
 
     def mean_link_latency(self) -> float:
         """Mean latency-model delay (seconds) over scheduled wire messages."""
-        if not self.link_latency_count:
+        count = self.link_latency_count
+        if not count:
             return 0.0
-        return self.link_latency_sum / self.link_latency_count
+        return self.link_latency_sum / count
+
+    def merge(self, other: "NetworkStats") -> None:
+        """Fold another shard's counters into this one (ints and keyed sums
+        only, so the result is independent of merge order)."""
+        self.messages_sent += other.messages_sent
+        self.messages_delivered += other.messages_delivered
+        self.messages_dropped += other.messages_dropped
+        self.bytes_sent += other.bytes_sent
+        self.loopback_messages += other.loopback_messages
+        for sender, acc in other.link_latency.items():
+            mine = self.link_latency.get(sender)
+            if mine is None:
+                self.link_latency[sender] = [acc[0], acc[1]]
+            else:
+                mine[0] += acc[0]
+                mine[1] += acc[1]
+        self.by_type.update(other.by_type)
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict snapshot of the scalar counters."""
@@ -157,6 +189,31 @@ class _Port:
             monotonically per port, ties broken by kernel sequence).
         loop_queue: FIFO of self-addressed envelopes awaiting their 0 ms
             microtask hand-over.
+        lat_random: This sender's private jitter stream (bound C-level
+            draw).  Per-sender streams make a sender's latency draw sequence
+            a function of its own send order only — the property that keeps
+            fixed-seed runs bit-identical whatever the kernel is sharded
+            into (a shared stream would interleave draws in global event
+            order, which sharding reorders).
+        lat_acc: This sender's ``[sum, count]`` link-latency accumulator,
+            aliased into ``NetworkStats.link_latency`` (same object).
+        owner: The owner-cluster key of this process (``None`` outside a
+            deployment).  Messages between processes of *different* owner
+            clusters always take the cross-cluster mailbox, even under a
+            single-shard kernel, so routing never depends on the shard
+            layout.
+        xseq: Outbound cross-cluster sequence number; with the arrival time
+            and sender id it gives mailbox entries a total order that every
+            shard layout reproduces.
+        route: Per-destination route memo, ``destination -> (target_port,
+            base, spread)`` — the owner-routing verdict fused with the
+            latency model's pair constants, so the hot path resolves both
+            with a single dict lookup.  ``target_port is None`` means the
+            cross-cluster mailbox.  Unknown destinations (drops) are never
+            cached.  Entries are purged on (de)registration of the
+            destination and cleared wholesale when the latency model's
+            topology changes (it calls the pipeline back — see
+            ``DeliveryPipeline.__init__``).
 
     The send and receive watermarks are deliberately independent resources —
     a serialization/NIC engine and a processing CPU.  The pre-fusion model
@@ -171,7 +228,19 @@ class _Port:
     refactor re-pinned the goldens for.
     """
 
-    __slots__ = ("process", "registered", "send_free", "recv_free", "queue", "loop_queue")
+    __slots__ = (
+        "process",
+        "registered",
+        "send_free",
+        "recv_free",
+        "queue",
+        "loop_queue",
+        "lat_random",
+        "lat_acc",
+        "owner",
+        "xseq",
+        "route",
+    )
 
     def __init__(self, process: Process) -> None:
         self.process = process
@@ -180,6 +249,11 @@ class _Port:
         self.recv_free = 0.0
         self.queue: deque = deque()
         self.loop_queue: deque = deque()
+        self.lat_random: Callable[[], float] = None  # bound in register()
+        self.lat_acc: List = None  # bound in register()
+        self.owner: object = None
+        self.xseq = 0
+        self.route: Dict[str, tuple] = {}
 
 
 class DeliveryPipeline:
@@ -218,31 +292,65 @@ class DeliveryPipeline:
         #: nothing).
         self._equeue = simulator._queue
         self._micro = simulator._microtasks
-        #: The latency model's (base, spread) pair memo, its raw uniform
-        #: draw, and its constants, bound here so the per-message latency is
-        #: computed inline (the warm path of ``one_way_latency``, one call
-        #: frame per wire message otherwise).  ``place``/``set_rtt`` clear
-        #: the memo *in place*, so the alias stays valid; misses fall back
-        #: to the model, which fills the memo.  The arithmetic below must
-        #: stay bit-identical to :meth:`LatencyModel.one_way_latency`.
-        self._pair_base = latency_model._pair_base
-        self._lat_random = latency_model._random
+        #: The latency model's constants, bound once so the per-message
+        #: latency is computed inline.  The (base, spread) pair constants
+        #: live in the per-port route memos (see :class:`_Port`), filled
+        #: from ``pair_params`` on miss; ``place``/``set_rtt`` invalidate
+        #: those memos through the hook below.  The jitter draw itself comes
+        #: from the *sender's* per-port stream, never from the model's.
         self._lat_bandwidth = latency_model._bandwidth
         self._lat_overhead = latency_model._per_message_overhead
+        latency_model._invalidate_hooks.append(self._clear_route_memos)
         self.ports: Dict[str, _Port] = {}
         self.drop_rules: List[DropRule] = []
+        #: Owner-cluster map (process id -> cluster key), shared across all
+        #: shards of a deployment (assigned by the harness before any
+        #: registration).  Empty for standalone networks — every message
+        #: then takes the fused path, exactly as before this refactor.
+        self.owners: Dict[str, object] = {}
+        #: Cross-cluster mailbox: ``(arrival, sender, xseq, destination,
+        #: envelope)`` entries awaiting the next lookahead barrier.  The
+        #: sort key (arrival, sender, xseq) is a total order every shard
+        #: layout reproduces, so injection order — and with it every
+        #: receiver-CPU slot — is shard-count invariant.
+        self.outbox: List[tuple] = []
+        #: Single-shard mode: the pipeline drains its own mailbox with a
+        #: priority -1 flush event at each lookahead barrier, emulating the
+        #: coordinator's between-windows exchange without one.  Multi-shard
+        #: runs clear this and let the coordinator call ``take_outbox``.
+        self.self_flush = True
+        #: Lazily resolved conservative lookahead (the barrier grid step).
+        #: A provider callable defers the computation to first use because
+        #: RTT overrides land after deployment construction.
+        self.lookahead_provider: Optional[Callable[[], Optional[float]]] = None
+        self._lookahead: Optional[float] = None
+        self._flush_pending = False
 
     # ------------------------------------------------------------------ #
     # Membership
     # ------------------------------------------------------------------ #
     def register(self, process: Process) -> _Port:
         """Create (or re-create) the delivery port for a process."""
-        port = self.ports.get(process.process_id)
+        process_id = process.process_id
+        port = self.ports.get(process_id)
         if port is not None and port.process is process:
             return port
         if port is not None:
             port.registered = False  # in-flight hand-overs to the old port drop
-        port = self.ports[process.process_id] = _Port(process)
+            # Cached routes in other ports point at the old port object,
+            # whose watermarks are now dead state — purge them so senders
+            # re-resolve against the replacement.
+            self._purge_route(process_id)
+        port = self.ports[process_id] = _Port(process)
+        # The per-sender jitter stream is derived from the *kernel's* root
+        # stream by process id alone, so the same process gets the same
+        # stream whichever shard (hence kernel) it lands on.
+        port.lat_random = self.simulator.rng.child(f"latency/{process_id}").raw_random
+        acc = self.stats.link_latency.get(process_id)
+        if acc is None:
+            acc = self.stats.link_latency[process_id] = [0.0, 0]
+        port.lat_acc = acc
+        port.owner = self.owners.get(process_id)
         return port
 
     def deregister(self, process_id: str) -> None:
@@ -250,6 +358,17 @@ class DeliveryPipeline:
         port = self.ports.pop(process_id, None)
         if port is not None:
             port.registered = False
+            self._purge_route(process_id)
+
+    def _purge_route(self, process_id: str) -> None:
+        """Drop every cached route targeting ``process_id`` (rare: joins/leaves)."""
+        for other in self.ports.values():
+            other.route.pop(process_id, None)
+
+    def _clear_route_memos(self) -> None:
+        """Latency-model invalidation hook: topology changed, re-resolve all."""
+        for other in self.ports.values():
+            other.route.clear()
 
     # ------------------------------------------------------------------ #
     # Sending
@@ -313,10 +432,19 @@ class DeliveryPipeline:
         if self.drop_rules and self._should_drop(sender, destination, payload):
             stats.messages_dropped += 1
             return
-        target_port = ports.get(destination)
-        if target_port is None:
-            stats.messages_dropped += 1
-            return
+        # Fused route memo: one dict lookup resolves the owner-cluster
+        # routing verdict (target port, or ``None`` for the cross-cluster
+        # mailbox) together with the pair's latency constants.  The slow
+        # path — owner comparison, port lookup, ``pair_params`` — lives in
+        # ``_resolve_route``; misses on unknown destinations drop and are
+        # never cached.
+        route = port.route.get(destination)
+        if route is None:
+            route = self._resolve_route(port, sender, destination)
+            if route is None:
+                stats.messages_dropped += 1
+                return
+        target_port, base, spread = route
         # Authenticated-link check, once per message at schedule time:
         # verification is time-independent (a token either matches the
         # signer's secret or it never will), so checking here instead of at
@@ -333,26 +461,23 @@ class DeliveryPipeline:
         ):
             stats.messages_dropped += 1
             return
-        # Inline of the latency model's warm path (see the alias note in
-        # __init__); the cold path resolves regions and fills the memo.
-        by_src = self._pair_base.get(sender)
-        pair = None if by_src is None else by_src.get(destination)
-        if pair is None:
-            latency = self.latency_model.one_way_latency(sender, destination, size)
+        # The jitter draw comes from the sender's own stream.
+        transfer = size / self._lat_bandwidth if size else 0.0
+        if base == 0:
+            latency = transfer  # jitter(0, f) draws nothing and returns 0.0
         else:
-            base, spread = pair
-            transfer = size / self._lat_bandwidth if size else 0.0
-            if base == 0:
-                latency = transfer  # jitter(0, f) draws nothing and returns 0.0
-            else:
-                latency = base + ((spread + spread) * self._lat_random() - spread) + transfer
-            overhead = self._lat_overhead
-            if latency < overhead:
-                latency = overhead
-            latency = latency + overhead
-        stats.link_latency_sum += latency
-        stats.link_latency_count += 1
+            latency = base + ((spread + spread) * port.lat_random() - spread) + transfer
+        overhead = self._lat_overhead
+        if latency < overhead:
+            latency = overhead
+        latency = latency + overhead
+        acc = port.lat_acc
+        acc[0] += latency
+        acc[1] += 1
         envelope = Envelope(sender, payload, signature, now, size, processing)
+        if target_port is None:
+            self._enqueue_cross(port, sender, departure + latency, destination, envelope, now)
+            return
         queue = self._equeue
         sequence = queue._sequence
         queue._sequence = sequence + 1
@@ -438,9 +563,9 @@ class DeliveryPipeline:
             and signature.verified_by is not self.registry
             and not self.registry.verify(signature)
         )
-        one_way_latency = self.latency_model.one_way_latency
-        pair_base = self._pair_base
-        lat_random = self._lat_random
+        route_get = port.route.get
+        resolve_route = self._resolve_route
+        lat_random = port.lat_random
         lat_bandwidth = self._lat_bandwidth
         lat_overhead = self._lat_overhead
         fire_port = self._fire_port
@@ -449,6 +574,7 @@ class DeliveryPipeline:
         sequence = equeue._sequence
         sent = 0
         dropped = 0
+        draws = 0
         latency_sum = 0.0
         events: List[Event] = []
         append = events.append
@@ -472,26 +598,28 @@ class DeliveryPipeline:
             if drop_rules and self._should_drop(sender, destination, payload):
                 dropped += 1
                 continue
-            target_port = ports.get(destination)
-            if target_port is None:
-                dropped += 1
-                continue
-            # Inline of the latency model's warm path (see __init__).
-            by_src = pair_base.get(sender)
-            pair = None if by_src is None else by_src.get(destination)
-            if pair is None:
-                latency = one_way_latency(sender, destination, size)
+            # Fused route memo (see the matching comment in ``send``); the
+            # jitter draw comes from the sender's own stream.
+            route = route_get(destination)
+            if route is None:
+                route = resolve_route(port, sender, destination)
+                if route is None:
+                    dropped += 1
+                    continue
+            target_port, base, spread = route
+            transfer = size / lat_bandwidth if size else 0.0
+            if base == 0:
+                latency = transfer
             else:
-                base, spread = pair
-                transfer = size / lat_bandwidth if size else 0.0
-                if base == 0:
-                    latency = transfer
-                else:
-                    latency = base + ((spread + spread) * lat_random() - spread) + transfer
-                if latency < lat_overhead:
-                    latency = lat_overhead
-                latency = latency + lat_overhead
+                latency = base + ((spread + spread) * lat_random() - spread) + transfer
+            if latency < lat_overhead:
+                latency = lat_overhead
+            latency = latency + lat_overhead
             latency_sum += latency
+            draws += 1
+            if target_port is None:
+                self._enqueue_cross(port, sender, departure + latency, destination, envelope, now)
+                continue
             if cpu_model:
                 finish = target_port.recv_free
                 arrival = departure + latency
@@ -518,8 +646,9 @@ class DeliveryPipeline:
             sequence += 1
         stats.messages_sent += sent
         stats.bytes_sent += size * sent
-        stats.link_latency_sum += latency_sum
-        stats.link_latency_count += len(events)
+        acc = port.lat_acc
+        acc[0] += latency_sum
+        acc[1] += draws
         if dropped:
             stats.messages_dropped += dropped
         if events:
@@ -537,6 +666,151 @@ class DeliveryPipeline:
 
     def _should_drop(self, sender: str, destination: str, payload: Message) -> bool:
         return any(rule(sender, destination, payload) for rule in self.drop_rules)
+
+    def _resolve_route(self, port: _Port, sender: str, destination: str):
+        """Route-memo miss path: owner routing + pair constants, then cache.
+
+        Messages between processes of different owner clusters always take
+        the cross-cluster mailbox — even under a single-shard kernel — so
+        delivery order never depends on how clusters are packed onto
+        shards.  Processes without an owner (standalone networks, unit
+        tests) keep the fused path untouched.  Returns ``None`` (and caches
+        nothing) for unknown local destinations: the caller drops, and a
+        later registration of that id must see a fresh lookup.
+        """
+        cross = port.owner is not None
+        if cross:
+            dest_owner = self.owners.get(destination)
+            cross = dest_owner is not None and dest_owner != port.owner
+        if cross:
+            target_port = None
+        else:
+            target_port = self.ports.get(destination)
+            if target_port is None:
+                return None
+        base, spread = self.latency_model.pair_params(sender, destination)
+        route = (target_port, base, spread)
+        port.route[destination] = route
+        return route
+
+    # ------------------------------------------------------------------ #
+    # Cross-cluster mailbox (the conservative-parallel exchange surface)
+    # ------------------------------------------------------------------ #
+    def _enqueue_cross(
+        self,
+        port: _Port,
+        sender: str,
+        arrival: float,
+        destination: str,
+        envelope: Envelope,
+        now: float,
+    ) -> None:
+        """Queue a cross-owner-cluster message for the next barrier.
+
+        Everything sender-side — stats, drop rules, the signature check,
+        the latency draw, the departure stagger — has already happened;
+        what remains (receiver port lookup, CPU slot, delivery event) is
+        receiver-side and runs at injection time on the *destination's*
+        shard, identically under every shard layout.
+        """
+        xseq = port.xseq
+        port.xseq = xseq + 1
+        outbox = self.outbox
+        outbox.append((arrival, sender, xseq, destination, envelope))
+        if self.self_flush and not self._flush_pending:
+            self._flush_pending = True
+            self.simulator.schedule_at(
+                self._next_barrier(now), self._flush_outbox, -1, "net:xflush"
+            )
+
+    def _next_barrier(self, time: float) -> float:
+        """The smallest barrier-grid point strictly after ``time``.
+
+        The grid is the multiples of the conservative lookahead ``L``.
+        Computed by integer search rather than division alone so that every
+        shard layout lands on the *same* float grid point (``k * L`` for the
+        smallest integer ``k`` with ``k * L > time``) — the coordinator
+        walks the same grid incrementally.
+        """
+        lookahead = self._lookahead
+        if lookahead is None:
+            provider = self.lookahead_provider
+            lookahead = provider() if provider is not None else None
+            if lookahead is None or lookahead <= 0.0:
+                raise NetworkError(
+                    "cross-cluster traffic requires a positive conservative "
+                    "lookahead; the deployment must install a lookahead "
+                    "provider before cross-owner sends occur"
+                )
+            self._lookahead = lookahead
+        k = int(time / lookahead)
+        while k * lookahead <= time:
+            k += 1
+        while k > 1 and (k - 1) * lookahead > time:
+            k -= 1
+        return k * lookahead
+
+    def _flush_outbox(self) -> None:
+        """Single-shard barrier: drain the mailbox in canonical order.
+
+        Fires at priority -1, i.e. *before* any ordinary event scheduled at
+        the same barrier time — the exact position the multi-shard
+        coordinator injects at (between windows).  Every mailbox entry was
+        produced by an event strictly before the barrier (the flush is the
+        first thing to run at it), so draining everything matches the
+        coordinator's take-all exchange.
+        """
+        self._flush_pending = False
+        batch = self.outbox
+        if not batch:
+            return
+        self.outbox = []
+        batch.sort()
+        deliver = self.deliver_cross
+        for arrival, _sender, _xseq, destination, envelope in batch:
+            deliver(arrival, destination, envelope)
+
+    def take_outbox(self) -> List[tuple]:
+        """Detach and return the pending mailbox (coordinator mode)."""
+        batch = self.outbox
+        if batch:
+            self.outbox = []
+        return batch
+
+    def deliver_cross(self, arrival: float, destination: str, envelope: Envelope) -> None:
+        """Inject a cross-cluster envelope at a barrier.
+
+        Runs on the destination's shard.  The receiver CPU slot is assigned
+        here — in canonical mailbox order — rather than at send time, so
+        slot assignment is identical whichever shard the sender lived on.
+        The event is pushed directly (no past-time guard): a barrier can sit
+        one ulp above an arrival that equals it in real arithmetic, and both
+        the single-shard flush and the coordinator tolerate that identically.
+        """
+        port = self.ports.get(destination)
+        if port is None or not port.registered:
+            self.stats.messages_dropped += 1
+            return
+        queue = self._equeue
+        sequence = queue._sequence
+        queue._sequence = sequence + 1
+        queue._live += 1
+        if self._cpu_model:
+            finish = port.recv_free
+            if finish < arrival:
+                finish = arrival
+            finish += envelope.processing
+            port.recv_free = finish
+            port.queue.append(envelope)
+            heappush(
+                queue._heap,
+                Event((finish, 0, sequence, self._fire_port, port, False, "net:msg")),
+            )
+        else:
+            heappush(
+                queue._heap,
+                Event((arrival, 0, sequence, self._fire_pair, (port, envelope), False, "net:msg")),
+            )
 
     # ------------------------------------------------------------------ #
     # Delivery (one callback per delivered message)

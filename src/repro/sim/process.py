@@ -32,8 +32,12 @@ class Process:
         self.simulator = simulator
         self.network: Optional["Network"] = None
         self.crashed = False
+        # Inherit the kernel RNG's owner so the stream-ownership audit
+        # (``strict_streams``) covers per-process streams too.
         self.rng = SeededRng(
-            simulator.seed ^ stable_hash([process_id]), f"process/{process_id}"
+            simulator.seed ^ stable_hash([process_id]),
+            f"process/{process_id}",
+            owner=simulator.rng.owner,
         )
         self._started = False
 

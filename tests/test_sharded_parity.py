@@ -1,0 +1,376 @@
+"""Serial-vs-sharded result parity (the PR 7 hard requirement).
+
+The cluster-sharded kernel must be a pure execution-strategy knob: for any
+fixed-seed scenario, the :class:`~repro.harness.runner.ResultRow` produced
+serially, with the in-process sharded coordinator, and with forked shard
+workers must be **byte-identical** (``to_json()`` equality, not approximate
+metric agreement).  The suite sweeps miniature versions of every paper
+experiment family E0–E8 plus the open-loop population presets, because each
+family exercises a different slice of the shard surface: multi-region
+latency, fault injection, joins/leaves, partitions, churn, RTT overrides,
+and population workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.harness.builder import Scenario
+from repro.harness.runner import ScenarioRunner, run_scenario
+from repro.sim.rng import StreamOwnershipError
+from repro.sim.sharded import ShardedSimulator
+from repro.sim.simulator import Simulator
+
+
+def _row_json(spec) -> str:
+    return run_scenario(spec).to_json()
+
+
+def _with_shards(builder_fn, shards: int, parallel: bool = False):
+    spec = builder_fn()
+    spec.shards = shards
+    spec.shard_parallel = parallel
+    return spec
+
+
+# --------------------------------------------------------------------------- #
+# Miniature E0–E8 scenario family (short durations, full feature coverage)
+# --------------------------------------------------------------------------- #
+def _e0_baseline():
+    return (
+        Scenario("p-e0")
+        .clusters(4, 4, 4, 4)
+        .engine("hotstuff")
+        .threads(2)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(7)
+        .spec()
+    )
+
+
+def _e1_multiregion():
+    return (
+        Scenario("p-e1")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "asia-south1"), (4, "us-west1"))
+        .engine("hotstuff")
+        .threads(2)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(11)
+        .spec()
+    )
+
+
+def _e2_stages():
+    return (
+        Scenario("p-e2")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "us-west1"))
+        .engine("hotstuff")
+        .threads(2)
+        .stages()
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(13)
+        .spec()
+    )
+
+
+def _e3_heterogeneity():
+    return (
+        Scenario("p-e3")
+        .clusters((4, "us-west1"), (4, "us-west1"), (4, "europe-west3"))
+        .engine("hotstuff")
+        .threads(2)
+        .place("c1/r0", "asia-south1")
+        .place("c1/r1", "asia-south1")
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(17)
+        .spec()
+    )
+
+
+def _e4_faults():
+    return (
+        Scenario("p-e4")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "us-west1"), (4, "europe-west3"))
+        .engine("hotstuff")
+        .threads(2)
+        .crash_non_leaders(1, at=0.3)
+        .crash_leader(2, at=0.4)
+        .byzantine_leader(3, at=0.35)
+        .timeseries(0.25)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(19)
+        .spec()
+    )
+
+
+def _e5_join_leave():
+    return (
+        Scenario("p-e5")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "us-west1"), (4, "europe-west3"))
+        .engine("hotstuff")
+        .threads(2)
+        .join(1, at=0.25)
+        .join(3, at=0.3)
+        .leave("c2/r3", at=0.35)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(23)
+        .spec()
+    )
+
+
+def _e6_geobft():
+    return (
+        Scenario("p-e6")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "asia-south1"))
+        .engine("bftsmart")
+        .preset("geobft")
+        .threads(2)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(29)
+        .spec()
+    )
+
+
+def _e7_churn():
+    return (
+        Scenario("p-e7")
+        .clusters(4, 4, 4, 4, 4, 4)
+        .engine("hotstuff")
+        .threads(2)
+        .churn(start=0.25, period=0.2, clusters=(0, 2, 4))
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(31)
+        .spec()
+    )
+
+
+def _e8_rtt_override():
+    return (
+        Scenario("p-e8")
+        .clusters((4, "us-west1"), (4, "us-east5"), (4, "us-west1"), (4, "us-east5"))
+        .engine("hotstuff")
+        .threads(2)
+        .rtt("us-west1", "us-east5", 219.0)
+        .churn(start=0.3, period=0.25, clusters=(1,))
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(37)
+        .spec()
+    )
+
+
+def _partition():
+    return (
+        Scenario("p-part")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "us-west1"), (4, "europe-west3"))
+        .engine("hotstuff")
+        .threads(2)
+        .partition(0, 1, at=0.25, duration=0.2)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(41)
+        .spec()
+    )
+
+
+def _population_steady():
+    return (
+        Scenario("p-pop-steady")
+        .clusters(4, 4, 4, 4)
+        .engine("hotstuff")
+        .open_loop(clients=150, rate=250.0)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(43)
+        .spec()
+    )
+
+
+def _population_preset():
+    return (
+        Scenario("p-pop-smoke")
+        .clusters(4, 4, 4, 4)
+        .engine("hotstuff")
+        .open_loop(preset="smoke")
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(47)
+        .spec()
+    )
+
+
+FAMILIES = {
+    "e0": _e0_baseline,
+    "e1": _e1_multiregion,
+    "e2": _e2_stages,
+    "e3": _e3_heterogeneity,
+    "e4": _e4_faults,
+    "e5": _e5_join_leave,
+    "e6": _e6_geobft,
+    "e7": _e7_churn,
+    "e8": _e8_rtt_override,
+    "partition": _partition,
+    "pop-steady": _population_steady,
+    "pop-preset": _population_preset,
+}
+
+
+class TestShardedParity:
+    """to_json() equality serial vs sharded across the experiment families."""
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_rows_identical_at_two_and_four_shards(self, family):
+        builder_fn = FAMILIES[family]
+        serial = _row_json(builder_fn())
+        for shards in (2, 4):
+            sharded = _row_json(_with_shards(builder_fn, shards))
+            assert sharded == serial, f"{family}: shards={shards} diverged from serial"
+
+    def test_single_shard_spec_equals_unsharded(self):
+        # shards=1 must use the exact serial code path, not a 1-way coordinator.
+        assert _row_json(_with_shards(_e0_baseline, 1)) == _row_json(_e0_baseline())
+
+
+class TestShardParallelWorkers:
+    """The forked-worker path reproduces the serial rows byte-for-byte."""
+
+    def test_e0_parallel_workers_match_serial(self):
+        serial = _row_json(_e0_baseline())
+        assert _row_json(_with_shards(_e0_baseline, 2, parallel=True)) == serial
+        assert _row_json(_with_shards(_e0_baseline, 4, parallel=True)) == serial
+
+    def test_multiregion_and_churn_parallel_workers_match_serial(self):
+        for builder_fn in (_e1_multiregion, _e7_churn):
+            serial = _row_json(builder_fn())
+            assert _row_json(_with_shards(builder_fn, 4, parallel=True)) == serial
+
+    def test_population_parallel_workers_match_serial(self):
+        serial = _row_json(_population_steady())
+        assert _row_json(_with_shards(_population_steady, 4, parallel=True)) == serial
+
+    def test_partition_spec_falls_back_in_process_identically(self):
+        # Partition drop rules read live replica state across clusters, so
+        # the parallel runner must fall back — and still match serial.
+        serial = _row_json(_partition())
+        assert _row_json(_with_shards(_partition, 4, parallel=True)) == serial
+
+
+class TestSeedGridParallelism:
+    """run_scenarios fans the full scenario×seed grid out to the pool."""
+
+    def test_grid_rows_match_serial_execution(self):
+        def grid():
+            return (
+                Scenario("p-grid")
+                .clusters(4, 4)
+                .engine("hotstuff")
+                .threads(2)
+                .duration(0.6)
+                .warmup(0.1)
+                .seeds(3, 5, 9)
+                .specs()
+            )
+
+        serial_rows = ScenarioRunner(workers=1).run(grid())
+        pooled_rows = ScenarioRunner(workers=2).run(grid())
+        assert [row.to_json() for row in pooled_rows] == [row.to_json() for row in serial_rows]
+
+    def test_grid_mixes_pooled_and_shard_parallel_specs(self):
+        specs = (
+            Scenario("p-mixed")
+            .clusters(4, 4, 4, 4)
+            .engine("hotstuff")
+            .threads(2)
+            .duration(0.6)
+            .warmup(0.1)
+            .seeds(3, 5)
+            .specs()
+        )
+        specs[1].shards = 2
+        specs[1].shard_parallel = True
+        rows = ScenarioRunner(workers=2).run(specs)
+        reference = [run_scenario(spec) for spec in specs]
+        assert [row.to_json() for row in rows] == [row.to_json() for row in reference]
+
+
+class TestStrictStreams:
+    """Satellite: the RNG stream-ownership audit mode."""
+
+    def test_e0_runs_clean_under_strict_streams(self):
+        audited = _e0_baseline()
+        audited.strict_streams = True
+        assert _row_json(audited) == _row_json(_e0_baseline())
+
+    def test_sharded_run_clean_under_strict_streams(self):
+        audited = _with_shards(_e0_baseline, 2)
+        audited.strict_streams = True
+        assert _row_json(audited) == _row_json(_e0_baseline())
+
+    def test_cross_owner_draw_raises(self):
+        own = Simulator(seed=1, strict_streams=True)
+        other = Simulator(seed=2, strict_streams=True)
+        foreign_stream = other.rng.child("foreign")
+
+        def probe():
+            foreign_stream.random()
+
+        own.schedule_at(0.1, probe, label="cross-owner-draw")
+        with pytest.raises(StreamOwnershipError):
+            own.run(until=1.0)
+
+
+class TestShardedSimulatorKernel:
+    """Unit coverage for the conservative coordinator itself."""
+
+    def test_lookahead_violation_raises(self):
+        sims = [Simulator(seed=1), Simulator(seed=1)]
+
+        class FakePipeline:
+            def __init__(self):
+                self.batch = []
+
+            def take_outbox(self):
+                batch, self.batch = self.batch, []
+                return batch
+
+            def deliver_cross(self, arrival, destination, envelope):
+                pass
+
+        pipelines = [FakePipeline(), FakePipeline()]
+
+        def emit():
+            # Arrival before the window being simulated: the destination
+            # shard already ran past it — a conservative violation.
+            pipelines[0].batch.append((0.1, "a", 0, "b", None))
+
+        sims[0].schedule_at(0.25, emit, label="bad-send")
+        kernel = ShardedSimulator(sims, pipelines, lambda pid: 1, lambda: 0.2)
+        with pytest.raises(SimulationError):
+            kernel.run_for(1.0)
+
+    def test_events_processed_sums_over_shards(self):
+        sims = [Simulator(seed=1), Simulator(seed=2)]
+
+        class NullPipeline:
+            def take_outbox(self):
+                return []
+
+            def deliver_cross(self, arrival, destination, envelope):
+                pass
+
+        for sim in sims:
+            for step in range(3):
+                sim.schedule_at(0.1 * (step + 1), lambda: None, label="tick")
+        kernel = ShardedSimulator(sims, [NullPipeline(), NullPipeline()], lambda pid: 0, lambda: 0.5)
+        kernel.run_for(1.0)
+        assert kernel.events_processed == sims[0].events_processed + sims[1].events_processed
+        assert kernel.now == 1.0
