@@ -52,13 +52,18 @@ from repro.harness.runner import (
 from repro.harness.scenario import (
     ByzantineEvent,
     ChurnLoop,
+    ClockSkewEvent,
     CrashEvent,
+    FlappingPartitionEvent,
+    GrayReplicaEvent,
     JoinEvent,
     LeaveEvent,
     PartitionEvent,
+    RegionOutageEvent,
     ScenarioSpec,
     register_preset,
 )
+from repro.net.adversity import CongestionConfig, CrossTrafficStream, RttTrace
 
 __version__ = "1.1.0"
 
@@ -70,12 +75,17 @@ __all__ = [
     "ByzantineEvent",
     "ChurnLoop",
     "ClientPopulation",
+    "ClockSkewEvent",
     "ClusterSpec",
+    "CongestionConfig",
     "CrashEvent",
+    "CrossTrafficStream",
     "Deployment",
     "DeploymentBuilder",
     "DeploymentSpec",
     "FaultInjector",
+    "FlappingPartitionEvent",
+    "GrayReplicaEvent",
     "HamavaConfig",
     "HamavaReplica",
     "JoinEvent",
@@ -84,7 +94,9 @@ __all__ = [
     "PartitionEvent",
     "PopulationConfig",
     "ReconfigRequest",
+    "RegionOutageEvent",
     "ResultRow",
+    "RttTrace",
     "Scenario",
     "ScenarioRunner",
     "ScenarioSpec",

@@ -363,6 +363,22 @@ class HamavaReplica(Process):
             self._arm_lease_tick()
             self._start_round()
 
+    def set_timer_rate(self, rate: float) -> None:
+        """Skew every protocol clock, including the shared deadline pools.
+
+        The base class only reaches timers created via ``new_timer``; the
+        replica also owns lazy deadline pools (BRD delivery, TOB watchdogs,
+        remote-leader-change watches) that must tick at the skewed rate.
+        """
+        super().set_timer_rate(rate)
+        self._brd_timer_pool.rate = rate
+        watchdogs = getattr(self.tob, "_watchdogs", None)
+        if watchdogs is not None:
+            watchdogs.rate = rate
+        watch_pool = getattr(self.rlc, "_watch_pool", None)
+        if watch_pool is not None:
+            watch_pool.rate = rate
+
     # ------------------------------------------------------------------ #
     # Round lifecycle
     # ------------------------------------------------------------------ #
@@ -698,7 +714,7 @@ class HamavaReplica(Process):
         self.executed_operations += operation_count
         self._previous_bundle = operations.get(self.cluster_id)
 
-        execution_delay = max(operation_count, 1) * EXECUTION_COST_PER_OP
+        execution_delay = max(operation_count, 1) * EXECUTION_COST_PER_OP * self.cpu_factor
         round_end = self.now + execution_delay
         if self.metrics is not None and self.is_reporter:
             self.metrics.record_round(

@@ -35,12 +35,17 @@ from repro.harness.scenario import (
     DEFAULT_REGION,
     ByzantineEvent,
     ChurnLoop,
+    ClockSkewEvent,
     CrashEvent,
+    FlappingPartitionEvent,
+    GrayReplicaEvent,
     JoinEvent,
     LeaveEvent,
     PartitionEvent,
+    RegionOutageEvent,
     ScenarioSpec,
 )
+from repro.net.adversity import CongestionConfig, CrossTrafficStream, RttTrace
 
 _SHORTHAND = re.compile(r"^r(\d+)\.(\d+)$")
 
@@ -331,6 +336,127 @@ class Scenario:
         """Drop traffic between two clusters for ``duration`` seconds."""
         self._spec.schedule.append(
             PartitionEvent(cluster_a=cluster_a, cluster_b=cluster_b, at=at, duration=duration)
+        )
+        return self
+
+    def gray(
+        self, replica: str, at: float, factor: float = 8.0, duration: Optional[float] = None
+    ) -> "Scenario":
+        """Gray-degrade one replica: its CPU slows by ``factor`` at ``at``."""
+        self._spec.schedule.append(
+            GrayReplicaEvent(
+                at=at, factor=factor, replica=normalize_replica_ref(replica), duration=duration
+            )
+        )
+        return self
+
+    def gray_leader(
+        self, cluster: int, at: float, factor: float = 8.0, duration: Optional[float] = None
+    ) -> "Scenario":
+        """Gray-degrade whichever replica leads ``cluster`` at time ``at``."""
+        self._spec.schedule.append(
+            GrayReplicaEvent(at=at, factor=factor, cluster=cluster, scope="leader", duration=duration)
+        )
+        return self
+
+    def clock_skew(
+        self, replica: str, at: float, rate: float = 0.5, duration: Optional[float] = None
+    ) -> "Scenario":
+        """Skew one replica's timer clock (``rate < 1``: timeouts fire early)."""
+        self._spec.schedule.append(
+            ClockSkewEvent(
+                at=at, rate=rate, replica=normalize_replica_ref(replica), duration=duration
+            )
+        )
+        return self
+
+    def clock_skew_leader(
+        self, cluster: int, at: float, rate: float = 0.5, duration: Optional[float] = None
+    ) -> "Scenario":
+        """Skew the clock of whichever replica leads ``cluster`` at ``at``."""
+        self._spec.schedule.append(
+            ClockSkewEvent(at=at, rate=rate, cluster=cluster, scope="leader", duration=duration)
+        )
+        return self
+
+    def flapping_partition(
+        self,
+        cluster_a: int,
+        cluster_b: int,
+        at: float,
+        period: float,
+        duty: float = 0.5,
+        cycles: int = 5,
+        direction: str = "both",
+    ) -> "Scenario":
+        """Duty-cycle the link between two clusters (optionally one-way)."""
+        self._spec.schedule.append(
+            FlappingPartitionEvent(
+                cluster_a=cluster_a,
+                cluster_b=cluster_b,
+                at=at,
+                period=period,
+                duty=duty,
+                cycles=cycles,
+                direction=direction,
+            )
+        )
+        return self
+
+    def region_outage(self, region: str, at: float, duration: float) -> "Scenario":
+        """Cut a whole region off the WAN for ``duration`` seconds."""
+        self._spec.schedule.append(RegionOutageEvent(region=region, at=at, duration=duration))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Network adversity (continuous, not scheduled)
+    # ------------------------------------------------------------------ #
+    def rtt_trace(self, trace: RttTrace) -> "Scenario":
+        """Drive inter-region RTTs from a piecewise-linear trace."""
+        trace.validate()
+        self._spec.rtt_trace = trace
+        return self
+
+    def congestion(self, config: Optional[CongestionConfig] = None, **fields: object) -> "Scenario":
+        """Enable load-dependent link latency (M/M/1-style congestion).
+
+        Pass a full :class:`CongestionConfig` or override individual fields
+        (``capacity_bytes_per_sec``, ``window``, ``service_time``,
+        ``max_utilization``) on the current/default config.
+        """
+        if config is None:
+            config = (
+                self._spec.congestion.copy()
+                if self._spec.congestion is not None
+                else CongestionConfig()
+            )
+        for key, value in fields.items():
+            if not hasattr(config, key):
+                raise ConfigurationError(f"unknown congestion field {key!r}")
+            setattr(config, key, value)
+        config.validate()
+        self._spec.congestion = config
+        return self
+
+    def cross_traffic(
+        self,
+        src_region: str,
+        dst_region: str,
+        rate_bytes_per_sec: float,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ) -> "Scenario":
+        """Inject a background traffic stream into the congestion model."""
+        if self._spec.congestion is None:
+            self._spec.congestion = CongestionConfig()
+        self._spec.congestion.streams.append(
+            CrossTrafficStream(
+                src_region=src_region,
+                dst_region=dst_region,
+                rate_bytes_per_sec=float(rate_bytes_per_sec),
+                start=start,
+                stop=stop,
+            )
         )
         return self
 

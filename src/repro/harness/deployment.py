@@ -9,6 +9,7 @@ answers the questions the figures plot.
 
 from __future__ import annotations
 
+import bisect
 import gc
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Type
@@ -17,6 +18,7 @@ from repro.core.config import HamavaConfig, SystemConfig
 from repro.core.replica import MODE_IDLE, ByzantineBehavior, HamavaReplica
 from repro.errors import ConfigurationError
 from repro.harness.metrics import MetricsCollector
+from repro.net.adversity import CongestionConfig, CongestionModel, RttTrace
 from repro.net.crypto import KeyRegistry
 from repro.net.latency import LatencyModel, LatencyParameters
 from repro.net.network import Network, NetworkConfig, NetworkStats
@@ -57,6 +59,13 @@ class DeploymentSpec:
         strict_streams: Enable the RNG stream-ownership audit: any draw from
             a stream owned by one shard's kernel while another shard's kernel
             is stepping raises ``StreamOwnershipError``.
+        rtt_trace: Optional trace-driven RTT schedule; traced region pairs
+            are re-sampled at every send and the conservative lookahead
+            becomes the piecewise floor schedule (barriers are forced at
+            trace segment boundaries).
+        congestion: Optional load-dependent link-latency model; adds an
+            M/M/1-style queueing surcharge per region pair from observed
+            utilization plus injected background cross-traffic streams.
     """
 
     clusters: Sequence[Tuple[int, str]]
@@ -74,6 +83,8 @@ class DeploymentSpec:
     reconfig_client_region: Optional[str] = None
     shards: int = 1
     strict_streams: bool = False
+    rtt_trace: Optional[RttTrace] = None
+    congestion: Optional[CongestionConfig] = None
 
 
 class Shard:
@@ -183,6 +194,9 @@ class Deployment:
             self._shard_of_cluster[cluster_id] = position * self.num_shards // len(cluster_ids)
         self._lookahead: Optional[float] = None
         self._lookahead_resolved = False
+        self._floor_schedule: Optional[List[Tuple[float, float]]] = None
+        self._floor_starts: List[float] = []
+        self._floor_schedule_resolved = False
 
         self.shards: List[Shard] = []
         latency_model: Optional[LatencyModel] = None
@@ -198,6 +212,20 @@ class Deployment:
             network.pipeline.lookahead_provider = self._cross_cluster_lookahead
             self.shards.append(Shard(index, simulator, network, MetricsCollector()))
         self.latency_model = latency_model
+        if spec.rtt_trace is not None:
+            latency_model.set_trace(spec.rtt_trace)
+            # Trace-driven RTTs make the lookahead time-varying: both the
+            # single-shard flush and the coordinator must walk the same
+            # piecewise barrier schedule instead of the static grid.
+            for shard in self.shards:
+                shard.network.pipeline.barrier_provider = self.next_barrier
+        if spec.congestion is not None:
+            # One shared model: utilization accumulators are keyed by the
+            # sender's owner cluster, and every process of a cluster lives
+            # on one shard, so sharing the object is layout-invariant.
+            congestion = CongestionModel(spec.congestion, latency_model)
+            for shard in self.shards:
+                shard.network.pipeline.congestion = congestion
         self.simulator = self.shards[0].simulator
         if self.num_shards == 1:
             self.network: object = self.shards[0].network
@@ -213,6 +241,7 @@ class Deployment:
                 [shard.network.pipeline for shard in self.shards],
                 self._shard_of_process,
                 self._cross_cluster_lookahead,
+                barrier_provider=self.next_barrier if spec.rtt_trace is not None else None,
             )
 
         self.replicas: Dict[str, HamavaReplica] = {}
@@ -252,6 +281,45 @@ class Deployment:
             self._lookahead = self.latency_model.min_cross_group_floor(self._owners)
             self._lookahead_resolved = True
         return self._lookahead
+
+    def _resolve_floor_schedule(self) -> Optional[List[Tuple[float, float]]]:
+        if not self._floor_schedule_resolved:
+            self._floor_schedule = self.latency_model.cross_group_floor_schedule(self._owners)
+            self._floor_schedule_resolved = True
+            if self._floor_schedule is not None:
+                self._floor_starts = [start for start, _ in self._floor_schedule]
+        return self._floor_schedule
+
+    def next_barrier(self, time: float) -> Optional[float]:
+        """Smallest barrier strictly after ``time`` under the floor schedule.
+
+        For the static single-segment schedule this reproduces the
+        ``k * L`` grid of ``DeliveryPipeline._next_barrier`` bit-for-bit
+        (segment start ``0.0`` makes ``start + k * floor`` IEEE-identical
+        to ``k * floor``).  With a trace the grid restarts at every floor
+        segment and is clamped to the next boundary, so no lookahead window
+        straddles a floor change.  Returns ``None`` when no cross-cluster
+        pair exists (no barriers needed).
+        """
+        schedule = self._resolve_floor_schedule()
+        if schedule is None:
+            return None
+        index = bisect.bisect_right(self._floor_starts, time) - 1
+        if index < 0:
+            index = 0
+        start, floor = schedule[index]
+        offset = time - start
+        k = int(offset / floor)
+        while start + k * floor <= time:
+            k += 1
+        while k > 1 and start + (k - 1) * floor > time:
+            k -= 1
+        barrier = start + k * floor
+        if index + 1 < len(self._floor_starts):
+            boundary = self._floor_starts[index + 1]
+            if barrier > boundary:
+                barrier = boundary
+        return barrier
 
     # ------------------------------------------------------------------ #
     # Construction

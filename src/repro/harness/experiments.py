@@ -1,4 +1,4 @@
-"""Runners for every experiment in the paper's evaluation (E0–E8, Tables I/II).
+"""Runners for the paper's evaluation (E0–E8, Tables I/II) plus the E9 chaos pack.
 
 Each ``run_*`` function declares the scenarios for one figure/table with the
 fluent :class:`~repro.harness.builder.Scenario` builder, executes them
@@ -569,6 +569,371 @@ def run_e8(
     ]
 
 
+# ---------------------------------------------------------------------- #
+# E9: adversarial network & gray failures (chaos scenario pack)
+# ---------------------------------------------------------------------- #
+def _e9_run(make_builder, parity_shards: Sequence[int] = (2,)) -> Tuple[ResultRow, bool]:
+    """Run an E9 scenario serially and re-run sharded for byte parity.
+
+    ``make_builder`` must return a *fresh* builder per call; the serial row
+    and every sharded re-run must serialize identically (the PR-7 parity
+    contract extended to adversity scenarios).
+    """
+    from repro.harness.runner import run_scenario
+
+    row = run_scenario(make_builder().spec())
+    parity = all(
+        run_scenario(make_builder().shards(shards).spec()).to_json() == row.to_json()
+        for shards in parity_shards
+    )
+    return row, parity
+
+
+def _e9_row(experiment: str, assertions: Dict[str, bool], **extra: object) -> Row:
+    return {
+        "experiment": experiment,
+        "passed": all(assertions.values()),
+        "assertions": assertions,
+        **extra,
+    }
+
+
+def run_e9_gray_leader(
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    seed: int = 9,
+    client_threads: int = 4,
+    factor: float = 400.0,
+) -> Row:
+    """E9.1: a gray (slow, not dead) leader is detected and replaced.
+
+    The cluster-0 leader's CPU degrades by ``factor`` a quarter into the
+    run.  It keeps answering — late — so only timeout-based detection can
+    catch it; the pinned assertion is that leadership moves off the initial
+    leader and the deployment keeps committing afterwards.
+    """
+    duration = duration if duration is not None else default_duration(6.0)
+    fault_time = duration * 0.25
+
+    def make_builder() -> Scenario:
+        return (
+            Scenario("e9/gray_leader")
+            .clusters((4, "us-west1"), (4, "europe-west3"))
+            .engine(engine)
+            .timeouts(1.0)
+            .config(retry_timeout=1.0)
+            .threads(client_threads)
+            .duration(duration)
+            .seed(seed)
+            .timeseries(bucket=1.0)
+            .gray_leader(0, at=fault_time, factor=factor)
+        )
+
+    row, parity = _e9_run(make_builder)
+    spec = make_builder().spec()
+    deployment = spec.build()
+    deployment.run(duration=spec.duration, warmup=spec.warmup)
+    initial_leader = sorted(deployment.system_config.members(0))[0]
+    new_leader = deployment.leader_of(0).process_id
+    series = [(start, value) for start, value in (row.series or [])]
+    tail = _window_mean(series, duration - 2.0, duration)
+    assertions = {
+        "leader_changed": new_leader != initial_leader,
+        "progress_after_fault": tail > 0.0,
+        "sharded_parity": parity,
+    }
+    return _e9_row(
+        "gray_leader",
+        assertions,
+        engine=engine,
+        fault_time=fault_time,
+        initial_leader=initial_leader,
+        new_leader=new_leader,
+        throughput=row.throughput,
+    )
+
+
+def run_e9_clock_skew(
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    seed: int = 9,
+    client_threads: int = 4,
+    rate: float = 0.02,
+) -> Row:
+    """E9.2: fast local clocks cause *spurious* leader changes.
+
+    Two followers of cluster 0 get clocks running ``1/rate`` times fast, so
+    their complaint timers expire long before the healthy leader is actually
+    late.  Pinned assertions: the skewed run records a leader change with no
+    real fault present, and a skew-free control run under the same seed does
+    not.
+    """
+    duration = duration if duration is not None else default_duration(6.0)
+    fault_time = duration * 0.25
+
+    def make_builder(skewed: bool = True) -> Scenario:
+        builder = (
+            Scenario("e9/clock_skew" if skewed else "e9/clock_skew_control")
+            .clusters((4, "us-west1"), (4, "europe-west3"))
+            .engine(engine)
+            .timeouts(1.0)
+            .config(retry_timeout=1.0)
+            .threads(client_threads)
+            .duration(duration)
+            .seed(seed)
+        )
+        if skewed:
+            builder.clock_skew("r0.1", at=fault_time, rate=rate)
+            builder.clock_skew("r0.2", at=fault_time, rate=rate)
+        return builder
+
+    _, parity = _e9_run(make_builder)
+    spec = make_builder().spec()
+    deployment = spec.build()
+    deployment.run(duration=spec.duration, warmup=spec.warmup)
+    skew_changes = max(replica.last_leader_change for replica in deployment.cluster_replicas(0))
+    control_spec = make_builder(skewed=False).spec()
+    control = control_spec.build()
+    control.run(duration=control_spec.duration, warmup=control_spec.warmup)
+    control_changes = max(replica.last_leader_change for replica in control.cluster_replicas(0))
+    assertions = {
+        "spurious_leader_change": skew_changes > 0.0,
+        "control_is_stable": control_changes == 0.0,
+        "sharded_parity": parity,
+    }
+    return _e9_row(
+        "clock_skew",
+        assertions,
+        engine=engine,
+        rate=rate,
+        skew_leader_change_at=skew_changes,
+    )
+
+
+def run_e9_flapping_partition(
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    seed: int = 9,
+    client_threads: int = 4,
+    period: float = 0.5,
+    duty: float = 0.5,
+    cycles: int = 3,
+) -> Row:
+    """E9.3: a flapping inter-cluster link drops traffic but heals cleanly.
+
+    The cluster 0 <-> 1 link is duty-cycled starting a quarter into the run.
+    Pinned assertions: drops actually happen, and goodput over the final two
+    seconds (well after the last flap) recovers to at least half the
+    pre-fault level.  Flapping keeps stalling rounds just as the previous
+    timeout recovery completes, so detection timeouts must be shorter than
+    the recovery runway — hence the aggressive 1-second timeouts here.
+    """
+    duration = duration if duration is not None else default_duration(6.0)
+    fault_time = duration * 0.25
+
+    def make_builder() -> Scenario:
+        return (
+            Scenario("e9/flapping_partition")
+            .clusters((4, "us-west1"), (4, "europe-west3"))
+            .engine(engine)
+            .timeouts(1.0)
+            .config(retry_timeout=1.0)
+            .threads(client_threads)
+            .duration(duration)
+            .seed(seed)
+            .timeseries(bucket=1.0)
+            .flapping_partition(0, 1, at=fault_time, period=period, duty=duty, cycles=cycles)
+        )
+
+    row, parity = _e9_run(make_builder)
+    series = [(start, value) for start, value in (row.series or [])]
+    before = _window_mean(series, 0.0, fault_time)
+    after = _window_mean(series, duration - 2.0, duration)
+    dropped = int((row.network or {}).get("messages_dropped", 0))
+    assertions = {
+        "messages_dropped": dropped > 0,
+        "goodput_recovered": after >= 0.5 * before,
+        "sharded_parity": parity,
+    }
+    return _e9_row(
+        "flapping_partition",
+        assertions,
+        engine=engine,
+        dropped=dropped,
+        goodput_before=before,
+        goodput_after=after,
+    )
+
+
+def run_e9_region_outage(
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    seed: int = 9,
+    client_threads: int = 4,
+) -> Row:
+    """E9.4: a whole region loses its WAN uplink, then heals.
+
+    Three single-cluster regions; the third region goes dark for 15% of the
+    run.  Pinned assertions: correlated drops occur, and goodput over the
+    final two seconds recovers to at least half the pre-fault level.
+    """
+    duration = duration if duration is not None else default_duration(6.0)
+    fault_time = duration * 0.25
+    outage = duration * 0.15
+
+    def make_builder() -> Scenario:
+        return (
+            Scenario("e9/region_outage")
+            .clusters(*((4, region) for region in PAPER_REGIONS))
+            .engine(engine)
+            .timeouts(1.0)
+            .config(retry_timeout=1.0)
+            .threads(client_threads)
+            .duration(duration)
+            .seed(seed)
+            .timeseries(bucket=1.0)
+            .region_outage(PAPER_REGIONS[-1], at=fault_time, duration=outage)
+        )
+
+    row, parity = _e9_run(make_builder)
+    series = [(start, value) for start, value in (row.series or [])]
+    before = _window_mean(series, 0.0, fault_time)
+    after = _window_mean(series, duration - 2.0, duration)
+    dropped = int((row.network or {}).get("messages_dropped", 0))
+    assertions = {
+        "messages_dropped": dropped > 0,
+        "goodput_recovered": after >= 0.5 * before,
+        "sharded_parity": parity,
+    }
+    return _e9_row(
+        "region_outage",
+        assertions,
+        engine=engine,
+        dropped=dropped,
+        goodput_before=before,
+        goodput_after=after,
+    )
+
+
+def run_e9_congestion(
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    seed: int = 9,
+    client_threads: int = 4,
+    background_rate: float = 1.1e8,
+) -> Row:
+    """E9.5: background cross-traffic congests the WAN link.
+
+    The us-west1 -> europe-west3 link carries an injected background stream
+    near its modelled capacity for the middle half of the run.  Pinned
+    assertions: the mean wire latency rises above an uncongested control run
+    of the same seed, and the system keeps committing throughout.
+    """
+    duration = duration if duration is not None else default_duration(6.0)
+
+    def make_builder(congested: bool = True) -> Scenario:
+        builder = (
+            Scenario("e9/congestion" if congested else "e9/congestion_control")
+            .clusters((4, "us-west1"), (4, "europe-west3"))
+            .engine(engine)
+            .config(**FAST_TIMEOUTS)
+            .threads(client_threads)
+            .duration(duration)
+            .seed(seed)
+        )
+        if congested:
+            builder.congestion()
+            builder.cross_traffic(
+                "us-west1",
+                "europe-west3",
+                background_rate,
+                start=duration * 0.25,
+                stop=duration * 0.75,
+            )
+        return builder
+
+    row, parity = _e9_run(make_builder)
+    control_row, _ = _e9_run(lambda: make_builder(congested=False), parity_shards=())
+    congested_ms = float((row.network or {}).get("link_latency_mean_ms", 0.0))
+    control_ms = float((control_row.network or {}).get("link_latency_mean_ms", 0.0))
+    assertions = {
+        "latency_inflated": congested_ms > control_ms,
+        "still_committing": row.operations > 0,
+        "sharded_parity": parity,
+    }
+    return _e9_row(
+        "congestion",
+        assertions,
+        engine=engine,
+        link_latency_ms=congested_ms,
+        control_latency_ms=control_ms,
+        throughput=row.throughput,
+    )
+
+
+def run_e9_rtt_trace(
+    engine: str = "hotstuff",
+    duration: Optional[float] = None,
+    seed: int = 9,
+    client_threads: int = 4,
+) -> Row:
+    """E9.6: trace-driven RTTs (wander + spikes) with dynamic lookahead.
+
+    A synthetic cloud-pair trace drives the us-west1 <-> europe-west3 RTT
+    through wander and congestion spikes.  Pinned assertions: the trace
+    actually changes the run (vs the static matrix), results stay
+    byte-identical serial-vs-sharded even though the lookahead floor now
+    moves between trace segments, and the system keeps committing.
+    """
+    from repro.net.adversity import RttTrace
+
+    duration = duration if duration is not None else default_duration(6.0)
+    trace = RttTrace.synthetic(
+        pairs=[("us-west1", "europe-west3", 148.0)], duration=duration, seed=seed
+    )
+
+    def make_builder(traced: bool = True) -> Scenario:
+        builder = (
+            Scenario("e9/rtt_trace" if traced else "e9/rtt_trace_control")
+            .clusters((4, "us-west1"), (4, "europe-west3"))
+            .engine(engine)
+            .config(**FAST_TIMEOUTS)
+            .threads(client_threads)
+            .duration(duration)
+            .seed(seed)
+        )
+        if traced:
+            builder.rtt_trace(trace.copy())
+        return builder
+
+    row, parity = _e9_run(make_builder, parity_shards=(2, 4))
+    control_row, _ = _e9_run(lambda: make_builder(traced=False), parity_shards=())
+    assertions = {
+        "trace_changes_run": row.to_json() != control_row.to_json(),
+        "still_committing": row.operations > 0,
+        "sharded_parity": parity,
+    }
+    return _e9_row(
+        "rtt_trace",
+        assertions,
+        engine=engine,
+        throughput=row.throughput,
+        control_throughput=control_row.throughput,
+    )
+
+
+def run_e9_all(duration: Optional[float] = None) -> List[Row]:
+    """Run the whole E9 chaos pack; each row carries its pinned assertions."""
+    return [
+        run_e9_gray_leader(duration=duration),
+        run_e9_clock_skew(duration=duration),
+        run_e9_flapping_partition(duration=duration),
+        run_e9_region_outage(duration=duration),
+        run_e9_congestion(duration=duration),
+        run_e9_rtt_trace(duration=duration),
+    ]
+
+
 __all__ = [
     "FAST_TIMEOUTS",
     "PAPER_REGIONS",
@@ -588,6 +953,13 @@ __all__ = [
     "run_e6",
     "run_e7",
     "run_e8",
+    "run_e9_all",
+    "run_e9_clock_skew",
+    "run_e9_congestion",
+    "run_e9_flapping_partition",
+    "run_e9_gray_leader",
+    "run_e9_region_outage",
+    "run_e9_rtt_trace",
     "run_table1",
     "run_table2",
 ]

@@ -1,20 +1,26 @@
-"""Fault injection for the failure experiments (E4.1–E4.3).
+"""Fault injection for the failure and adversity experiments (E4, E9).
 
-Three fault types match the paper's scenarios:
+The crash/Byzantine faults match the paper's E4 scenarios:
 
 * crash of up to ``f`` non-leader replicas per cluster,
 * crash of a cluster leader (detected by the local leader-change path),
 * a Byzantine leader that behaves correctly inside its cluster but never
   sends the inter-cluster broadcast (detected by the remote leader change).
+
+The gray-failure pack extends them with conditions that degrade rather
+than stop: slow (gray) replicas, skewed clocks, duty-cycled flapping
+partitions, and correlated whole-region outages.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.config import failure_threshold
 from repro.core.replica import MODE_ACTIVE, MODE_IDLE
+from repro.errors import ConfigurationError
 from repro.harness.deployment import Deployment
+from repro.net.latency import canonical_region
 
 
 class FaultInjector:
@@ -69,13 +75,42 @@ class FaultInjector:
         """The kernel owning a cluster — cluster-scoped faults fire there."""
         return self.deployment.shard_of_cluster(cluster_id).simulator
 
+    def _schedule_replica_fault(
+        self, replica_id: str, at_time: float, label: str, effect: Callable
+    ) -> None:
+        """Owner-routed, fire-time-resolved scheduling shared by replica faults.
+
+        The fault is scheduled on the kernel of the shard that *owns* the
+        replica (the owner map covers joiners and, in multiprocess workers,
+        replicas built by other workers), so in a shard worker only the
+        owning worker installs it — the rest no-op instead of silently
+        dropping a fault they cannot see.  The target is resolved again when
+        the fault fires; ids that name no known process raise everywhere.
+        """
+        deployment = self.deployment
+        if deployment.local_shard is not None:
+            owner = deployment._owners.get(replica_id)
+            if owner is None:
+                raise ConfigurationError(f"unknown replica {replica_id!r}")
+            if deployment.shard_of_cluster(owner).index != deployment.local_shard:
+                return  # another shard's worker owns it and schedules the fault
+        deployment.replica(replica_id)  # unknown (and client) ids raise here
+        simulator = deployment.simulator_for(replica_id)
+
+        def _fire() -> None:
+            replica = deployment.replicas.get(replica_id)
+            if replica is not None:
+                effect(replica, simulator)
+
+        simulator.schedule_at(at_time, _fire, label=label)
+
     def crash_replica(self, replica_id: str, at_time: float) -> None:
         """Crash-stop one replica at the given virtual time."""
-        if replica_id not in self.deployment.replicas and self.deployment.local_shard is not None:
-            return  # the replica lives on another shard's worker process
-        replica = self.deployment.replica(replica_id)
-        self.deployment.simulator_for(replica_id).schedule_at(
-            at_time, replica.crash, label=f"fault:crash:{replica_id}"
+        self._schedule_replica_fault(
+            replica_id,
+            at_time,
+            f"fault:crash:{replica_id}",
+            lambda replica, simulator: replica.crash(),
         )
         self.injected.append(f"crash {replica_id} @ {at_time}")
 
@@ -187,6 +222,170 @@ class FaultInjector:
         for shard in deployment.shards:
             _schedule_on(shard)
         self.injected.append(f"partition c{cluster_a}/c{cluster_b} @ {at_time} for {duration}")
+
+    # ------------------------------------------------------------------ #
+    # Gray failures (degrade, don't stop)
+    # ------------------------------------------------------------------ #
+    def degrade_replica(
+        self, replica_id: str, at_time: float, factor: float, duration: Optional[float] = None
+    ) -> None:
+        """Slow one replica's CPU by ``factor`` (gray failure: late, not dead).
+
+        ``duration`` restores full speed afterwards; ``None`` is permanent.
+        """
+
+        def _effect(replica, simulator) -> None:
+            replica.set_cpu_factor(factor)
+            if duration is not None:
+                simulator.schedule(duration, lambda: replica.set_cpu_factor(1.0), label="fault:heal")
+
+        self._schedule_replica_fault(replica_id, at_time, f"fault:gray:{replica_id}", _effect)
+        self.injected.append(f"gray {replica_id} x{factor} @ {at_time}")
+
+    def degrade_leader(
+        self, cluster_id: int, at_time: float, factor: float, duration: Optional[float] = None
+    ) -> str:
+        """Slow whichever replica leads the cluster *at the fault time*."""
+        simulator = self._cluster_simulator(cluster_id)
+
+        def _fire() -> None:
+            _, leader = self._cluster_state(cluster_id)
+            replica = self.deployment.replicas.get(leader)
+            if replica is not None:
+                replica.set_cpu_factor(factor)
+                if duration is not None:
+                    simulator.schedule(
+                        duration, lambda: replica.set_cpu_factor(1.0), label="fault:heal"
+                    )
+
+        simulator.schedule_at(at_time, _fire, label=f"fault:gray-leader:c{cluster_id}")
+        _, leader = self._cluster_state(cluster_id)
+        self.injected.append(f"gray-leader c{cluster_id} ({leader}) x{factor} @ {at_time}")
+        return leader
+
+    def skew_clock(
+        self, replica_id: str, at_time: float, rate: float, duration: Optional[float] = None
+    ) -> None:
+        """Skew one replica's timer clock (``rate < 1``: timeouts fire early)."""
+
+        def _effect(replica, simulator) -> None:
+            replica.set_timer_rate(rate)
+            if duration is not None:
+                simulator.schedule(duration, lambda: replica.set_timer_rate(1.0), label="fault:heal")
+
+        self._schedule_replica_fault(replica_id, at_time, f"fault:skew:{replica_id}", _effect)
+        self.injected.append(f"clock-skew {replica_id} x{rate} @ {at_time}")
+
+    def skew_leader_clock(
+        self, cluster_id: int, at_time: float, rate: float, duration: Optional[float] = None
+    ) -> str:
+        """Skew the clock of whichever replica leads the cluster at fire time."""
+        simulator = self._cluster_simulator(cluster_id)
+
+        def _fire() -> None:
+            _, leader = self._cluster_state(cluster_id)
+            replica = self.deployment.replicas.get(leader)
+            if replica is not None:
+                replica.set_timer_rate(rate)
+                if duration is not None:
+                    simulator.schedule(
+                        duration, lambda: replica.set_timer_rate(1.0), label="fault:heal"
+                    )
+
+        simulator.schedule_at(at_time, _fire, label=f"fault:skew-leader:c{cluster_id}")
+        _, leader = self._cluster_state(cluster_id)
+        self.injected.append(f"clock-skew-leader c{cluster_id} ({leader}) x{rate} @ {at_time}")
+        return leader
+
+    # ------------------------------------------------------------------ #
+    # Network adversity
+    # ------------------------------------------------------------------ #
+    def flapping_partition(
+        self,
+        cluster_a: int,
+        cluster_b: int,
+        at_time: float,
+        period: float,
+        duty: float = 0.5,
+        cycles: int = 5,
+        direction: str = "both",
+    ) -> None:
+        """A duty-cycled, optionally asymmetric partition between two clusters.
+
+        From ``at_time`` on, the link is cut for ``duty * period`` seconds
+        out of every ``period``, ``cycles`` times.  ``direction`` limits the
+        cut to one way (``"a_to_b"`` / ``"b_to_a"``) — gray links are often
+        asymmetric.  Membership is resolved per envelope like
+        :meth:`partition_clusters`, so mid-flap joiners are covered.
+        """
+        deployment = self.deployment
+        replicas = deployment.replicas
+
+        def cluster_side(process_id: str):
+            replica = replicas.get(process_id)
+            if replica is None or replica.mode == MODE_IDLE:
+                return None
+            return replica.cluster_id
+
+        def rule(sender, destination, payload) -> bool:
+            sender_side = cluster_side(sender)
+            if direction != "b_to_a" and sender_side == cluster_a:
+                return cluster_side(destination) == cluster_b
+            if direction != "a_to_b" and sender_side == cluster_b:
+                return cluster_side(destination) == cluster_a
+            return False
+
+        cut = duty * period
+
+        def _schedule_on(shard) -> None:
+            network = shard.network
+            simulator = shard.simulator
+
+            def _install() -> None:
+                network.add_drop_rule(rule)
+                simulator.schedule(cut, lambda: network.remove_drop_rule(rule), label="fault:heal")
+
+            for cycle in range(cycles):
+                simulator.schedule_at(at_time + cycle * period, _install, label="fault:flap")
+
+        for shard in deployment.shards:
+            _schedule_on(shard)
+        self.injected.append(
+            f"flapping-partition c{cluster_a}/c{cluster_b} ({direction}) "
+            f"@ {at_time} period={period} duty={duty} x{cycles}"
+        )
+
+    def region_outage(self, region: str, at_time: float, duration: float) -> None:
+        """Cut a whole region off the WAN for ``duration`` seconds.
+
+        Every message with exactly one endpoint placed in the dark region is
+        dropped; traffic between two processes *inside* the region still
+        flows (the region lost its uplink, not its LAN).  Placement-based,
+        so it correlates across all clusters — and all shards — in the
+        region at once.
+        """
+        deployment = self.deployment
+        region_of = deployment.latency_model.region_of
+        dark = canonical_region(region)
+
+        def rule(sender, destination, payload) -> bool:
+            return (region_of(sender) == dark) != (region_of(destination) == dark)
+
+        def _schedule_on(shard) -> None:
+            network = shard.network
+            simulator = shard.simulator
+
+            def _install() -> None:
+                network.add_drop_rule(rule)
+                simulator.schedule(
+                    duration, lambda: network.remove_drop_rule(rule), label="fault:heal"
+                )
+
+            simulator.schedule_at(at_time, _install, label="fault:region-outage")
+
+        for shard in deployment.shards:
+            _schedule_on(shard)
+        self.injected.append(f"region-outage {dark} @ {at_time} for {duration}")
 
 
 __all__ = ["FaultInjector"]

@@ -26,10 +26,10 @@ fold used in-process.  (Envelope signatures and certificates carry pickle
 hooks that drop registry-identity memos; the receiving worker's key
 registry is a deterministic twin, so re-verification re-derives them.)
 
-Partition events are the one unsupported schedule feature: their drop rules
-read live replica state across clusters, which a worker process cannot see.
-Specs containing partitions fall back to in-process sharded execution
-(still byte-identical, just not multi-core).
+Partition events (steady and flapping) are the one unsupported schedule
+feature: their drop rules read live replica state across clusters, which a
+worker process cannot see.  Specs containing partitions fall back to
+in-process sharded execution (still byte-identical, just not multi-core).
 """
 
 from __future__ import annotations
@@ -43,7 +43,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.harness.metrics import MetricsCollector
-from repro.harness.scenario import PartitionEvent, ScenarioSpec
+from repro.harness.scenario import FlappingPartitionEvent, PartitionEvent, ScenarioSpec
 from repro.net.network import NetworkStats
 
 #: Seconds the parent waits on a worker's final result before declaring the
@@ -64,23 +64,15 @@ class ShardedOutcome:
 
 
 def _supports_parallel(spec: ScenarioSpec) -> bool:
-    if any(isinstance(event, PartitionEvent) for event in spec.schedule):
+    if any(
+        isinstance(event, (PartitionEvent, FlappingPartitionEvent)) for event in spec.schedule
+    ):
         return False
     try:
         multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return False
     return True
-
-
-def _next_barrier(time: float, lookahead: float) -> float:
-    """Identical grid arithmetic to the kernels (see ``ShardedSimulator``)."""
-    k = int(time / lookahead)
-    while k * lookahead <= time:
-        k += 1
-    while k > 1 and (k - 1) * lookahead > time:
-        k -= 1
-    return k * lookahead
 
 
 def _exchange(shard_index: int, peers: dict, batches: List[list]) -> List[tuple]:
@@ -119,18 +111,18 @@ def _worker_main(conn, peers: dict, spec: ScenarioSpec, shard_index: int) -> Non
         route = deployment._shard_of_process
         num_shards = len(deployment.shards)
         deployment.start()
-        lookahead = deployment._cross_cluster_lookahead()
         until = spec.duration
         thresholds = gc.get_threshold()
         gc.set_threshold(100_000, thresholds[1], thresholds[2])
         now = 0.0
         while True:
-            if lookahead is None:
+            # The deployment's schedule generalises the static grid: for a
+            # trace-free spec it reproduces ``_next_barrier`` bit-for-bit,
+            # with a trace it restarts the grid at floor-segment boundaries
+            # — every worker derives the identical sequence from the spec.
+            barrier = deployment.next_barrier(now)
+            if barrier is None or barrier > until:
                 barrier = until
-            else:
-                barrier = _next_barrier(now, lookahead)
-                if barrier > until:
-                    barrier = until
             simulator.run(until=math.nextafter(barrier, -math.inf))
             batches: List[list] = [[] for _ in range(num_shards)]
             for entry in pipeline.take_outbox():

@@ -5,9 +5,10 @@ fault/churn schedules × workloads.  :class:`ScenarioSpec` captures one cell
 of that grid as plain data: the clusters, the protocol configuration, the
 workload and latency models, and a unified ``schedule`` of typed events
 (:class:`JoinEvent`, :class:`LeaveEvent`, :class:`CrashEvent`,
-:class:`ByzantineEvent`, :class:`PartitionEvent`, :class:`ChurnLoop`) that
-replaces the imperative ``add_joiner`` / ``schedule_leave`` /
-``FaultInjector`` mutation calls.
+:class:`ByzantineEvent`, :class:`PartitionEvent`, :class:`GrayReplicaEvent`,
+:class:`ClockSkewEvent`, :class:`FlappingPartitionEvent`,
+:class:`RegionOutageEvent`, :class:`ChurnLoop`) that replaces the imperative
+``add_joiner`` / ``schedule_leave`` / ``FaultInjector`` mutation calls.
 
 A spec round-trips through JSON (:meth:`ScenarioSpec.to_dict` /
 :meth:`ScenarioSpec.from_dict`), compiles to a runnable
@@ -34,6 +35,7 @@ from repro.consensus.interface import ConsensusConfig
 from repro.core.config import HamavaConfig
 from repro.core.replica import HamavaReplica
 from repro.errors import ConfigurationError
+from repro.net.adversity import CongestionConfig, RttTrace
 from repro.net.latency import LatencyParameters
 from repro.net.network import NetworkConfig
 from repro.workload.population import (
@@ -124,6 +126,84 @@ class PartitionEvent:
 
 
 @dataclass
+class GrayReplicaEvent:
+    """Gray failure: a replica keeps running but its CPU slows by ``factor``.
+
+    The replica is never declared crashed — it answers, just late.  With
+    ``scope == "leader"`` the target is resolved *live* at fire time (the
+    cluster's current leader, which an earlier event may have changed).
+    ``duration`` restores full speed afterwards; ``None`` degrades forever.
+    """
+
+    kind: ClassVar[str] = "gray"
+
+    at: float
+    factor: float = 8.0
+    replica: Optional[str] = None
+    cluster: Optional[int] = None
+    scope: str = "replica"
+    duration: Optional[float] = None
+
+
+@dataclass
+class ClockSkewEvent:
+    """Skew one replica's timer clock by ``rate`` (1.0 is a true clock).
+
+    ``rate < 1`` is a fast local clock — timeouts fire early, which is the
+    classic cause of spurious leader complaints; ``rate > 1`` is a slow
+    clock that reacts sluggishly to real failures.  Scoping and live
+    resolution follow :class:`GrayReplicaEvent`.
+    """
+
+    kind: ClassVar[str] = "clock_skew"
+
+    at: float
+    rate: float = 0.5
+    replica: Optional[str] = None
+    cluster: Optional[int] = None
+    scope: str = "replica"
+    duration: Optional[float] = None
+
+
+@dataclass
+class FlappingPartitionEvent:
+    """A duty-cycled, optionally asymmetric partition between two clusters.
+
+    Starting at ``at``, the link is cut for ``duty * period`` seconds out
+    of every ``period``, for ``cycles`` repetitions.  ``direction`` selects
+    which way traffic is dropped: ``"both"`` (default), ``"a_to_b"``, or
+    ``"b_to_a"`` (gray links are often asymmetric).  Membership is resolved
+    live on every send, so replicas joining mid-flap are covered.
+    """
+
+    kind: ClassVar[str] = "flapping_partition"
+
+    cluster_a: int
+    cluster_b: int
+    at: float
+    period: float
+    duty: float = 0.5
+    cycles: int = 5
+    direction: str = "both"
+
+
+@dataclass
+class RegionOutageEvent:
+    """Correlated outage: a whole region drops off the WAN for ``duration``.
+
+    Every message with exactly one endpoint placed in ``region`` is dropped
+    (traffic *inside* the dark region still flows — the region lost its
+    uplink, not its LAN), affecting all clusters there at once.
+    """
+
+    kind: ClassVar[str] = "region_outage"
+
+    region: str
+    at: float
+    duration: float
+
+
+@dataclass
 class ChurnLoop:
     """Periodic churn: one join every ``period`` seconds (E5.2/E7/E8 style).
 
@@ -142,11 +222,33 @@ class ChurnLoop:
     region: Optional[str] = None
 
 
-ScenarioEvent = Union[JoinEvent, LeaveEvent, CrashEvent, ByzantineEvent, PartitionEvent, ChurnLoop]
+ScenarioEvent = Union[
+    JoinEvent,
+    LeaveEvent,
+    CrashEvent,
+    ByzantineEvent,
+    PartitionEvent,
+    GrayReplicaEvent,
+    ClockSkewEvent,
+    FlappingPartitionEvent,
+    RegionOutageEvent,
+    ChurnLoop,
+]
 
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
-    for cls in (JoinEvent, LeaveEvent, CrashEvent, ByzantineEvent, PartitionEvent, ChurnLoop)
+    for cls in (
+        JoinEvent,
+        LeaveEvent,
+        CrashEvent,
+        ByzantineEvent,
+        PartitionEvent,
+        GrayReplicaEvent,
+        ClockSkewEvent,
+        FlappingPartitionEvent,
+        RegionOutageEvent,
+        ChurnLoop,
+    )
 }
 
 
@@ -319,6 +421,11 @@ class ScenarioSpec:
             ``shards > 1``; results remain byte-identical.
         strict_streams: Enable the RNG stream-ownership audit (draws from a
             foreign shard's streams raise ``StreamOwnershipError``).
+        rtt_trace: Optional trace-driven RTT schedule (piecewise-linear
+            ``(time, rtt)`` segments per region pair); traced pairs are
+            re-sampled every send instead of using the static matrix.
+        congestion: Optional load-dependent link-latency model with
+            injectable background cross-traffic streams.
     """
 
     name: str = "scenario"
@@ -348,6 +455,8 @@ class ScenarioSpec:
     shards: int = 1
     shard_parallel: bool = False
     strict_streams: bool = False
+    rtt_trace: Optional[RttTrace] = None
+    congestion: Optional[CongestionConfig] = None
 
     # ------------------------------------------------------------------ #
     # Derivations
@@ -368,6 +477,8 @@ class ScenarioSpec:
             rtt_overrides=[tuple(r) for r in self.rtt_overrides],
             schedule=list(self.schedule),
             labels=dict(self.labels),
+            rtt_trace=None if self.rtt_trace is None else self.rtt_trace.copy(),
+            congestion=None if self.congestion is None else self.congestion.copy(),
         )
 
     def compiled_config(self) -> HamavaConfig:
@@ -398,11 +509,50 @@ class ScenarioSpec:
             self.population.validate()
         if self.shards < 1:
             raise ConfigurationError(f"scenario {self.name!r}: shards must be >= 1, not {self.shards}")
+        if self.rtt_trace is not None:
+            self.rtt_trace.validate()
+        if self.congestion is not None:
+            self.congestion.validate()
         cluster_count = len(self.clusters)
         for event in self.schedule:
             clusters: Sequence[int] = ()
             if isinstance(event, (JoinEvent, ByzantineEvent)):
                 clusters = (event.cluster,)
+            elif isinstance(event, (GrayReplicaEvent, ClockSkewEvent)):
+                if event.scope == "replica":
+                    if not event.replica:
+                        raise ConfigurationError(
+                            f"{type(event).__name__} with scope='replica' needs a replica id"
+                        )
+                elif event.scope == "leader":
+                    if event.cluster is None:
+                        raise ConfigurationError(f"{type(event).__name__} scope='leader' needs a cluster")
+                    clusters = (event.cluster,)
+                else:
+                    raise ConfigurationError(f"unknown {type(event).__name__} scope {event.scope!r}")
+                if isinstance(event, GrayReplicaEvent) and event.factor <= 0:
+                    raise ConfigurationError("GrayReplicaEvent factor must be positive")
+                if isinstance(event, ClockSkewEvent) and event.rate <= 0:
+                    raise ConfigurationError("ClockSkewEvent rate must be positive")
+                if event.duration is not None and event.duration <= 0:
+                    raise ConfigurationError(
+                        f"{type(event).__name__} duration must be positive (or None)"
+                    )
+            elif isinstance(event, FlappingPartitionEvent):
+                clusters = (event.cluster_a, event.cluster_b)
+                if event.period <= 0:
+                    raise ConfigurationError("FlappingPartitionEvent period must be positive")
+                if not 0.0 < event.duty <= 1.0:
+                    raise ConfigurationError("FlappingPartitionEvent duty must be in (0, 1]")
+                if event.cycles < 1:
+                    raise ConfigurationError("FlappingPartitionEvent needs at least one cycle")
+                if event.direction not in ("both", "a_to_b", "b_to_a"):
+                    raise ConfigurationError(
+                        f"unknown FlappingPartitionEvent direction {event.direction!r}"
+                    )
+            elif isinstance(event, RegionOutageEvent):
+                if event.duration <= 0:
+                    raise ConfigurationError("RegionOutageEvent duration must be positive")
             elif isinstance(event, CrashEvent):
                 if event.scope == "replica":
                     if not event.replica:
@@ -456,6 +606,8 @@ class ScenarioSpec:
             reconfig_client_region=self.churn_client_region,
             shards=self.shards,
             strict_streams=self.strict_streams,
+            rtt_trace=None if self.rtt_trace is None else self.rtt_trace.copy(),
+            congestion=None if self.congestion is None else self.congestion.copy(),
         )
         deployment = Deployment(deployment_spec, local_shard=local_shard)
         for region_a, region_b, rtt_ms in self.rtt_overrides:
@@ -509,6 +661,8 @@ class ScenarioSpec:
             "shards": self.shards,
             "shard_parallel": self.shard_parallel,
             "strict_streams": self.strict_streams,
+            "rtt_trace": None if self.rtt_trace is None else self.rtt_trace.to_dict(),
+            "congestion": None if self.congestion is None else self.congestion.to_dict(),
         }
 
     @classmethod
@@ -525,6 +679,10 @@ class ScenarioSpec:
         data["config"] = None if config is None else _config_from_dict(config)
         data["rtt_overrides"] = [(a, b, float(rtt)) for a, b, rtt in data.get("rtt_overrides", [])]
         data["schedule"] = [event_from_dict(event) for event in data.get("schedule", [])]
+        rtt_trace = data.get("rtt_trace")
+        data["rtt_trace"] = None if rtt_trace is None else RttTrace.from_dict(rtt_trace)
+        congestion = data.get("congestion")
+        data["congestion"] = None if congestion is None else CongestionConfig.from_dict(congestion)
         return cls(**data)
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -571,6 +729,36 @@ def apply_schedule(deployment, spec: ScenarioSpec) -> None:
             injector.partition_clusters(
                 event.cluster_a, event.cluster_b, at_time=event.at, duration=event.duration
             )
+        elif isinstance(event, GrayReplicaEvent):
+            if event.scope == "leader":
+                injector.degrade_leader(
+                    event.cluster, at_time=event.at, factor=event.factor, duration=event.duration
+                )
+            else:
+                injector.degrade_replica(
+                    event.replica, at_time=event.at, factor=event.factor, duration=event.duration
+                )
+        elif isinstance(event, ClockSkewEvent):
+            if event.scope == "leader":
+                injector.skew_leader_clock(
+                    event.cluster, at_time=event.at, rate=event.rate, duration=event.duration
+                )
+            else:
+                injector.skew_clock(
+                    event.replica, at_time=event.at, rate=event.rate, duration=event.duration
+                )
+        elif isinstance(event, FlappingPartitionEvent):
+            injector.flapping_partition(
+                event.cluster_a,
+                event.cluster_b,
+                at_time=event.at,
+                period=event.period,
+                duty=event.duty,
+                cycles=event.cycles,
+                direction=event.direction,
+            )
+        elif isinstance(event, RegionOutageEvent):
+            injector.region_outage(event.region, at_time=event.at, duration=event.duration)
         elif isinstance(event, ChurnLoop):
             stop = event.stop if event.stop is not None else max(spec.duration - 1.0, event.start)
             at = event.start
@@ -592,12 +780,16 @@ def apply_schedule(deployment, spec: ScenarioSpec) -> None:
 __all__ = [
     "ByzantineEvent",
     "ChurnLoop",
+    "ClockSkewEvent",
     "CrashEvent",
     "DEFAULT_REGION",
     "EVENT_TYPES",
+    "FlappingPartitionEvent",
+    "GrayReplicaEvent",
     "JoinEvent",
     "LeaveEvent",
     "PartitionEvent",
+    "RegionOutageEvent",
     "Preset",
     "ScenarioEvent",
     "ScenarioSpec",

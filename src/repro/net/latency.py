@@ -12,10 +12,12 @@ intra-region latency is sub-millisecond, matching a single cloud zone.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.net.adversity import RttTrace
 from repro.sim.rng import SeededRng
 
 Region = str
@@ -59,17 +61,56 @@ def canonical_region(region: Region) -> Region:
     return REGION_ALIASES.get(region, region)
 
 
-def region_rtt_ms(a: Region, b: Region, table: Optional[Mapping[Tuple[Region, Region], float]] = None) -> float:
-    """Round-trip time in milliseconds between two regions."""
-    table = table if table is not None else REGION_RTT_MS
-    a = canonical_region(a)
-    b = canonical_region(b)
+#: Hub region for the triangle-inequality fallback below.  Every region the
+#: paper (and any realistic table) names has an RTT to the primary US site.
+TRIANGLE_HUB: Region = "us-west1"
+
+#: Region pairs already warned about (one warning per pair per process).
+_estimated_pairs: set = set()
+
+
+def _table_rtt(a: Region, b: Region, table: Mapping[Tuple[Region, Region], float]) -> Optional[float]:
+    if a == b:
+        return 0.0
     if (a, b) in table:
         return table[(a, b)]
     if (b, a) in table:
         return table[(b, a)]
-    if a == b:
-        return 0.0
+    return None
+
+
+def region_rtt_ms(a: Region, b: Region, table: Optional[Mapping[Tuple[Region, Region], float]] = None) -> float:
+    """Round-trip time in milliseconds between two regions.
+
+    Explicit table entries are authoritative.  A pair the table does not
+    list is *estimated* by the triangle inequality through
+    :data:`TRIANGLE_HUB` (``rtt(a, hub) + rtt(hub, b)`` — an upper bound on
+    the direct path, which is the safe direction for a latency model), with
+    a one-time ``RuntimeWarning`` naming the estimate so sweeps over novel
+    regions run instead of crashing.  Only pairs with no route through the
+    hub still raise :class:`ConfigurationError`.
+    """
+    table = table if table is not None else REGION_RTT_MS
+    a = canonical_region(a)
+    b = canonical_region(b)
+    direct = _table_rtt(a, b, table)
+    if direct is not None:
+        return direct
+    leg_a = _table_rtt(a, TRIANGLE_HUB, table)
+    leg_b = _table_rtt(TRIANGLE_HUB, b, table)
+    if leg_a is not None and leg_b is not None:
+        estimate = leg_a + leg_b
+        key = (a, b) if a <= b else (b, a)
+        if key not in _estimated_pairs:
+            _estimated_pairs.add(key)
+            warnings.warn(
+                f"no RTT entry for region pair ({a!r}, {b!r}); using the "
+                f"triangle-inequality estimate {estimate:g} ms via "
+                f"{TRIANGLE_HUB!r} (add an explicit entry to override)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return estimate
     raise ConfigurationError(f"no RTT entry for region pair ({a!r}, {b!r})")
 
 
@@ -113,6 +154,9 @@ class LatencyModel:
         #: is inlined below and this skips three wrapper frames per draw.
         self._random = self._rng.raw_random
         self._rtt_table = dict(rtt_table) if rtt_table is not None else dict(REGION_RTT_MS)
+        #: Optional piecewise-linear RTT schedule; traced pairs are sampled
+        #: at send time (the pipeline bypasses its route memo for them).
+        self._trace: Optional[RttTrace] = None
         self._locations: Dict[str, Region] = {}
         #: Memo of (base, jitter spread) per src -> dst process pair (nested
         #: dicts, so the per-message lookup allocates no key tuple);
@@ -152,9 +196,48 @@ class LatencyModel:
         for hook in self._invalidate_hooks:
             hook()
 
+    def set_trace(self, trace: Optional[RttTrace]) -> None:
+        """Install (or clear) a trace-driven RTT schedule.
+
+        Traced pairs stop being served from the static table: the delivery
+        pipeline re-samples them at every send instead of caching route
+        constants.  Installing a trace invalidates all derived memos.
+        """
+        if trace is not None:
+            trace.validate()
+        self._trace = trace
+        self._pair_base.clear()
+        for hook in self._invalidate_hooks:
+            hook()
+
+    @property
+    def trace(self) -> Optional[RttTrace]:
+        """The installed RTT trace, if any."""
+        return self._trace
+
     def rtt_ms(self, a: Region, b: Region) -> float:
         """RTT between two regions under the current table."""
         return region_rtt_ms(a, b, self._rtt_table)
+
+    def traced_pair_params(self, src: str, dst: str, time: float) -> Optional[Tuple[float, float]]:
+        """Time-varying ``(base, jitter spread)`` of a traced process pair.
+
+        Returns ``None`` when the pair's regions are not covered by the
+        trace (or are the same region) — the caller then falls back to the
+        static, memoised :meth:`pair_params`.
+        """
+        trace = self._trace
+        if trace is None:
+            return None
+        src_region = self.region_of(src)
+        dst_region = self.region_of(dst)
+        if src_region == dst_region:
+            return None
+        rtt = trace.rtt_at(src_region, dst_region, time)
+        if rtt is None:
+            return None
+        base = rtt / 2.0 / 1000.0
+        return (base, base * self._jitter_fraction)
 
     # ------------------------------------------------------------------ #
     # Latency computation
@@ -229,33 +312,100 @@ class LatencyModel:
         processes belong to different groups (no cross-group traffic is
         possible, hence no synchronisation barrier is needed).
         """
+        if self._trace is not None:
+            schedule = self.cross_group_floor_schedule(groups)
+            if schedule is None:
+                return None
+            return min(floor for _, floor in schedule)
+        best: Optional[float] = None
+        for region_a, region_b in self._cross_group_region_pairs(groups):
+            floor = self._base_floor(self._pair_base_latency(region_a, region_b))
+            if best is None or floor < best:
+                best = floor
+        return best
+
+    def _cross_group_region_pairs(self, groups: Mapping[str, object]) -> List[Tuple[Region, Region]]:
+        """Region pairs with processes in different groups (deduplicated)."""
         regions_by_group: Dict[object, set] = {}
         for process_id, group in groups.items():
             regions_by_group.setdefault(group, set()).add(self.region_of(process_id))
         keys = sorted(regions_by_group, key=repr)
-        overhead = self._per_message_overhead
-        best: Optional[float] = None
+        pairs: List[Tuple[Region, Region]] = []
+        seen: set = set()
         for index, group_a in enumerate(keys):
             for group_b in keys[index + 1:]:
                 for region_a in regions_by_group[group_a]:
                     for region_b in regions_by_group[group_b]:
-                        if region_a == region_b:
-                            base = self.parameters.intra_region_latency
-                        else:
-                            base = self.rtt_ms(region_a, region_b) / 2.0 / 1000.0
-                        spread = base * self._jitter_fraction
-                        if base == 0:
-                            # The pipeline skips the jitter draw entirely for
-                            # zero-base pairs; latency is the clamped transfer.
-                            floor = overhead
-                        else:
-                            floor = base - spread
-                            if floor < overhead:
-                                floor = overhead
-                        floor = floor + overhead
-                        if best is None or floor < best:
-                            best = floor
-        return best
+                        key = (region_a, region_b) if region_a <= region_b else (region_b, region_a)
+                        if key not in seen:
+                            seen.add(key)
+                            pairs.append((region_a, region_b))
+        return pairs
+
+    def _pair_base_latency(self, region_a: Region, region_b: Region) -> float:
+        if region_a == region_b:
+            return self.parameters.intra_region_latency
+        return self.rtt_ms(region_a, region_b) / 2.0 / 1000.0
+
+    def _base_floor(self, base: float) -> float:
+        """The pipeline's clamp applied to a base latency (see docstring above)."""
+        overhead = self._per_message_overhead
+        spread = base * self._jitter_fraction
+        if base == 0:
+            # The pipeline skips the jitter draw entirely for zero-base
+            # pairs; latency is the clamped transfer.
+            floor = overhead
+        else:
+            floor = base - spread
+            if floor < overhead:
+                floor = overhead
+        return floor + overhead
+
+    def cross_group_floor_schedule(
+        self, groups: Mapping[str, object]
+    ) -> Optional[List[Tuple[float, float]]]:
+        """Piecewise-constant conservative floor: ``[(segment_start, floor), ...]``.
+
+        The dynamic-latency generalisation of :meth:`min_cross_group_floor`:
+        with an :class:`RttTrace` installed, the floor is recomputed per
+        trace segment (for each window between consecutive breakpoints the
+        traced pair's RTT minimum sits at a window edge, piecewise-linearity
+        obliging), and the deployment forces a barrier at every segment
+        boundary so no lookahead window straddles a floor change.  Without
+        a trace the schedule is the single segment ``[(0.0, floor)]``.
+        Returns ``None`` when no cross-group pair exists.
+        """
+        pairs = self._cross_group_region_pairs(groups)
+        if not pairs:
+            return None
+        trace = self._trace
+        if trace is None:
+            best = min(self._base_floor(self._pair_base_latency(a, b)) for a, b in pairs)
+            return [(0.0, best)]
+        starts = [0.0]
+        for t in trace.breakpoints():
+            if t > starts[-1]:
+                starts.append(t)
+        schedule: List[Tuple[float, float]] = []
+        for index, start in enumerate(starts):
+            end = starts[index + 1] if index + 1 < len(starts) else None
+            best: Optional[float] = None
+            for region_a, region_b in pairs:
+                if region_a == region_b:
+                    base = self.parameters.intra_region_latency
+                else:
+                    if end is None:
+                        rtt = trace.rtt_at(region_a, region_b, start)
+                    else:
+                        rtt = trace.window_min_rtt(region_a, region_b, start, end)
+                    if rtt is None:
+                        rtt = self.rtt_ms(region_a, region_b)
+                    base = rtt / 2.0 / 1000.0
+                floor = self._base_floor(base)
+                if best is None or floor < best:
+                    best = floor
+            schedule.append((start, best))
+        return schedule
 
     def pairs(self) -> Iterable[Tuple[Region, Region]]:
         """All region pairs known to the model."""
@@ -279,6 +429,7 @@ __all__ = [
     "REGION_RTT_MS",
     "REGION_ALIASES",
     "Region",
+    "TRIANGLE_HUB",
     "canonical_region",
     "paper_rtt_matrix",
     "region_rtt_ms",

@@ -240,6 +240,7 @@ class _Port:
         "owner",
         "xseq",
         "route",
+        "cpu_factor",
     )
 
     def __init__(self, process: Process) -> None:
@@ -254,6 +255,10 @@ class _Port:
         self.owner: object = None
         self.xseq = 0
         self.route: Dict[str, tuple] = {}
+        #: Receiver-CPU multiplier (gray/slow replicas).  1.0 for healthy
+        #: processes — and ``x * 1.0 == x`` is IEEE-exact, so healthy runs
+        #: are bit-identical to the pre-gray pipeline.
+        self.cpu_factor = 1.0
 
 
 class DeliveryPipeline:
@@ -325,6 +330,14 @@ class DeliveryPipeline:
         self.lookahead_provider: Optional[Callable[[], Optional[float]]] = None
         self._lookahead: Optional[float] = None
         self._flush_pending = False
+        #: Optional dynamic barrier grid (``time -> next barrier``), installed
+        #: by the deployment when an RTT trace makes the conservative floor —
+        #: and with it the barrier spacing — piecewise instead of uniform.
+        #: ``None`` keeps the historical fixed-lookahead grid below.
+        self.barrier_provider: Optional[Callable[[float], Optional[float]]] = None
+        #: Optional load-dependent latency surcharge (one shared
+        #: :class:`~repro.net.adversity.CongestionModel` per deployment).
+        self.congestion = None
 
     # ------------------------------------------------------------------ #
     # Membership
@@ -410,7 +423,7 @@ class DeliveryPipeline:
                 free = port.recv_free
                 if free < now:
                     free = now
-                port.recv_free = free + self._base_processing
+                port.recv_free = free + self._base_processing * port.cpu_factor
             port.loop_queue.append(Envelope(sender, payload, signature, now, size, 0.0))
             self._micro.append((self._fire_loopback, port))
             return
@@ -471,6 +484,13 @@ class DeliveryPipeline:
         if latency < overhead:
             latency = overhead
         latency = latency + overhead
+        congestion = self.congestion
+        if congestion is not None:
+            # Load-dependent surcharge, added *after* the floor clamp: it is
+            # >= 0, so the conservative lookahead bound still holds.
+            latency += congestion.surcharge(
+                port.owner if port.owner is not None else sender, sender, destination, size, now
+            )
         acc = port.lat_acc
         acc[0] += latency
         acc[1] += 1
@@ -489,7 +509,7 @@ class DeliveryPipeline:
             arrival = departure + latency
             if finish < arrival:
                 finish = arrival
-            finish += processing
+            finish += processing * target_port.cpu_factor
             target_port.recv_free = finish
             target_port.queue.append(envelope)
             heappush(
@@ -568,6 +588,8 @@ class DeliveryPipeline:
         lat_random = port.lat_random
         lat_bandwidth = self._lat_bandwidth
         lat_overhead = self._lat_overhead
+        congestion = self.congestion
+        congestion_key = port.owner if port.owner is not None else sender
         fire_port = self._fire_port
         fire_pair = self._fire_pair
         equeue = self._equeue
@@ -586,7 +608,7 @@ class DeliveryPipeline:
                     free = port.recv_free
                     if free < now:
                         free = now
-                    port.recv_free = free + self._base_processing
+                    port.recv_free = free + self._base_processing * port.cpu_factor
                 port.loop_queue.append(envelope)
                 self._micro.append((self._fire_loopback, port))
                 continue
@@ -615,6 +637,9 @@ class DeliveryPipeline:
             if latency < lat_overhead:
                 latency = lat_overhead
             latency = latency + lat_overhead
+            if congestion is not None:
+                # >= 0 and post-clamp, so the lookahead bound still holds.
+                latency += congestion.surcharge(congestion_key, sender, destination, size, now)
             latency_sum += latency
             draws += 1
             if target_port is None:
@@ -625,7 +650,7 @@ class DeliveryPipeline:
                 arrival = departure + latency
                 if finish < arrival:
                     finish = arrival
-                finish += processing
+                finish += processing * target_port.cpu_factor
                 target_port.recv_free = finish
                 target_port.queue.append(envelope)
                 append(Event((finish, 0, sequence, fire_port, target_port, False, "net:msg")))
@@ -688,7 +713,16 @@ class DeliveryPipeline:
             target_port = self.ports.get(destination)
             if target_port is None:
                 return None
-        base, spread = self.latency_model.pair_params(sender, destination)
+        latency_model = self.latency_model
+        if latency_model._trace is not None:
+            # Trace-driven pair: sample the schedule at *send* time and do
+            # not cache — every send to this destination must re-resolve so
+            # the latency follows the trace.  Untraced pairs fall through to
+            # the memoised constants below.
+            params = latency_model.traced_pair_params(sender, destination, self.simulator.now)
+            if params is not None:
+                return (target_port, params[0], params[1])
+        base, spread = latency_model.pair_params(sender, destination)
         route = (target_port, base, spread)
         port.route[destination] = route
         return route
@@ -731,7 +765,22 @@ class DeliveryPipeline:
         shard layout lands on the *same* float grid point (``k * L`` for the
         smallest integer ``k`` with ``k * L > time``) — the coordinator
         walks the same grid incrementally.
+
+        With a dynamic floor (RTT traces), the deployment installs a
+        ``barrier_provider`` and the single-shard flush walks *its*
+        piecewise grid — the same one the sharded coordinator and the
+        multiprocess workers use, which is what keeps serial and sharded
+        runs byte-identical under dynamic latency too.
         """
+        provider = self.barrier_provider
+        if provider is not None:
+            barrier = provider(time)
+            if barrier is None:
+                raise NetworkError(
+                    "cross-cluster traffic requires a barrier grid, but the "
+                    "barrier provider reports no cross-cluster pairs"
+                )
+            return barrier
         lookahead = self._lookahead
         if lookahead is None:
             provider = self.lookahead_provider
@@ -799,7 +848,7 @@ class DeliveryPipeline:
             finish = port.recv_free
             if finish < arrival:
                 finish = arrival
-            finish += envelope.processing
+            finish += envelope.processing * port.cpu_factor
             port.recv_free = finish
             port.queue.append(envelope)
             heappush(

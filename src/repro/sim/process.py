@@ -32,6 +32,14 @@ class Process:
         self.simulator = simulator
         self.network: Optional["Network"] = None
         self.crashed = False
+        #: Gray-failure state: CPU multiplier (>1 is a slow replica) and the
+        #: local timer-clock rate (<1 fires timers early).  Both default to
+        #: 1.0 and multiply exactly, so healthy runs are unchanged.
+        self.cpu_factor = 1.0
+        self.timer_rate = 1.0
+        #: Timers created through :meth:`new_timer`, kept so a later
+        #: clock-skew fault reaches timers armed before it fired.
+        self._timers: list = []
         # Inherit the kernel RNG's owner so the stream-ownership audit
         # (``strict_streams``) covers per-process streams too.
         self.rng = SeededRng(
@@ -108,7 +116,42 @@ class Process:
             if not self.crashed:
                 callback()
 
-        return self.simulator.timer(duration, _guarded, name=f"{self.process_id}:{name}")
+        timer = self.simulator.timer(duration, _guarded, name=f"{self.process_id}:{name}")
+        timer.rate = self.timer_rate
+        self._timers.append(timer)
+        return timer
+
+    # ------------------------------------------------------------------ #
+    # Gray-failure knobs (fault injectors call these at fire time)
+    # ------------------------------------------------------------------ #
+    def set_cpu_factor(self, factor: float) -> None:
+        """Scale this process's CPU service times (``1.0`` restores health).
+
+        Applies to the network port's processing/receive costs and to any
+        subclass-specific CPU work (e.g. replica execution delay) that reads
+        ``self.cpu_factor``.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"cpu_factor must be positive, got {factor}")
+        self.cpu_factor = factor
+        network = self.network
+        if network is not None:
+            port = network.pipeline.ports.get(self.process_id)
+            if port is not None and port.process is self:
+                port.cpu_factor = factor
+
+    def set_timer_rate(self, rate: float) -> None:
+        """Skew this process's timer clock.
+
+        ``rate < 1`` is a fast local clock (timers fire early); ``rate > 1``
+        is a slow clock.  Affects timers armed after the call; already-armed
+        deadlines run to their original expiry.
+        """
+        if rate <= 0.0:
+            raise ValueError(f"timer_rate must be positive, got {rate}")
+        self.timer_rate = rate
+        for timer in self._timers:
+            timer.rate = rate
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.process_id} at t={self.now:.3f}>"

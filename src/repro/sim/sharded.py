@@ -66,12 +66,18 @@ class ShardedSimulator:
         pipelines: List[object],
         route: Callable[[str], int],
         lookahead_provider: Callable[[], Optional[float]],
+        barrier_provider: Optional[Callable[[float], Optional[float]]] = None,
     ) -> None:
         self.now: float = 0.0
         self._simulators = simulators
         self._pipelines = pipelines
         self._route = route
         self._lookahead_provider = lookahead_provider
+        #: Optional piecewise barrier schedule (trace-driven RTTs make the
+        #: lookahead time-varying).  When set, it overrides the static grid;
+        #: the single-shard flush installs the same provider so both kernels
+        #: walk the identical barrier sequence.
+        self._barrier_provider = barrier_provider
         self._lookahead: Optional[float] = None
         self._lookahead_resolved = False
         self._stopped = False
@@ -120,11 +126,15 @@ class ShardedSimulator:
     def run(self, until: float) -> None:
         """Run every shard to ``until``, exchanging mailboxes at barriers."""
         self._stopped = False
-        lookahead = self._resolve_lookahead()
+        provider = self._barrier_provider
+        lookahead = None if provider is not None else self._resolve_lookahead()
         simulators = self._simulators
         window_start = self.now
         while not self._stopped:
-            if lookahead is None:
+            if provider is not None:
+                next_barrier = provider(self.now)
+                barrier = until if next_barrier is None else min(next_barrier, until)
+            elif lookahead is None:
                 barrier = until
             else:
                 barrier = self._next_barrier(self.now, lookahead)

@@ -40,6 +40,11 @@ class Timer:
         self.duration = duration
         self.callback = callback
         self.name = name
+        #: Local-clock rate of the timer's owner (clock-skew faults): a rate
+        #: below 1.0 is a fast clock (the timer fires early), above 1.0 a
+        #: slow one.  ``duration * 1.0`` is IEEE-exact, so unskewed runs are
+        #: bit-identical to the pre-skew kernel.
+        self.rate = 1.0
         self._label = f"timer:{name}"  # built once, not per (re)arm
         self._event: Optional[Event] = None
 
@@ -53,7 +58,9 @@ class Timer:
         self.stop()
         if duration is not None:
             self.duration = duration
-        self._event = self._simulator.schedule(self.duration, self._fire, 0, self._label)
+        self._event = self._simulator.schedule(
+            self.duration * self.rate, self._fire, 0, self._label
+        )
 
     def reset(self, duration: Optional[float] = None) -> None:
         """Alias for :meth:`start`; mirrors the paper's ``reset timer``."""
@@ -104,7 +111,7 @@ class DeadlinePool:
         name: Label stem for the resident event.
     """
 
-    __slots__ = ("_simulator", "_callback", "_label", "_deadlines", "_event")
+    __slots__ = ("_simulator", "_callback", "_label", "_deadlines", "_event", "rate")
 
     def __init__(self, simulator: "Simulator", callback: Callable, name: str = "") -> None:
         self._simulator = simulator
@@ -112,9 +119,13 @@ class DeadlinePool:
         self._label = f"pool:{name}"
         self._deadlines: dict = {}
         self._event: Optional[Event] = None
+        #: Local-clock rate of the pool's owner (clock-skew faults); see
+        #: :attr:`Timer.rate`.  ``duration * 1.0`` is IEEE-exact.
+        self.rate = 1.0
 
     def arm(self, key, duration: float) -> None:
-        """(Re)arm ``key`` to fire ``duration`` from now."""
+        """(Re)arm ``key`` to fire ``duration`` from now (owner-clock units)."""
+        duration = duration * self.rate
         deadline = self._simulator.now + duration
         self._deadlines[key] = deadline
         event = self._event

@@ -17,6 +17,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.harness.builder import Scenario
+from repro.net.adversity import RttTrace
 from repro.harness.runner import ScenarioRunner, run_scenario
 from repro.sim.rng import StreamOwnershipError
 from repro.sim.sharded import ShardedSimulator
@@ -208,6 +209,82 @@ def _population_preset():
     )
 
 
+def _adv_gray():
+    return (
+        Scenario("p-adv-gray")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "us-west1"), (4, "europe-west3"))
+        .engine("hotstuff")
+        .threads(2)
+        .gray_leader(0, at=0.25, factor=50.0)
+        .gray("c1/r2", at=0.3, factor=12.0, duration=0.2)
+        .clock_skew("c2/r1", at=0.3, rate=0.2)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(53)
+        .spec()
+    )
+
+
+def _adv_flapping():
+    return (
+        Scenario("p-adv-flap")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "us-west1"), (4, "europe-west3"))
+        .engine("hotstuff")
+        .threads(2)
+        .flapping_partition(0, 1, at=0.25, period=0.2, duty=0.5, cycles=2, direction="a_to_b")
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(59)
+        .spec()
+    )
+
+
+def _adv_outage():
+    return (
+        Scenario("p-adv-outage")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "asia-south1"), (4, "us-west1"))
+        .engine("hotstuff")
+        .threads(2)
+        .region_outage("asia-south1", at=0.25, duration=0.2)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(61)
+        .spec()
+    )
+
+
+def _adv_congestion():
+    return (
+        Scenario("p-adv-congest")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "us-west1"), (4, "europe-west3"))
+        .engine("hotstuff")
+        .threads(2)
+        .congestion(capacity_bytes_per_sec=2.0e7)
+        .cross_traffic("us-west1", "europe-west3", 1.8e7, start=0.25, stop=0.6)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(67)
+        .spec()
+    )
+
+
+def _adv_trace():
+    trace = RttTrace.synthetic(
+        pairs=[("us-west1", "europe-west3", 148.0)], duration=0.8, seed=71
+    )
+    return (
+        Scenario("p-adv-trace")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "us-west1"), (4, "europe-west3"))
+        .engine("hotstuff")
+        .threads(2)
+        .rtt_trace(trace)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(71)
+        .spec()
+    )
+
+
 FAMILIES = {
     "e0": _e0_baseline,
     "e1": _e1_multiregion,
@@ -221,6 +298,11 @@ FAMILIES = {
     "partition": _partition,
     "pop-steady": _population_steady,
     "pop-preset": _population_preset,
+    "adv-gray": _adv_gray,
+    "adv-flapping": _adv_flapping,
+    "adv-outage": _adv_outage,
+    "adv-congestion": _adv_congestion,
+    "adv-trace": _adv_trace,
 }
 
 
@@ -262,6 +344,20 @@ class TestShardParallelWorkers:
         # the parallel runner must fall back — and still match serial.
         serial = _row_json(_partition())
         assert _row_json(_with_shards(_partition, 4, parallel=True)) == serial
+
+    def test_adversity_specs_parallel_workers_match_serial(self):
+        # Gray replicas, clock skew, congestion, and RTT traces are all
+        # shard-local or derived identically from the spec in every worker,
+        # so the forked path must reproduce the serial rows.
+        for builder_fn in (_adv_gray, _adv_congestion, _adv_trace):
+            serial = _row_json(builder_fn())
+            assert _row_json(_with_shards(builder_fn, 2, parallel=True)) == serial
+
+    def test_flapping_spec_falls_back_in_process_identically(self):
+        # Flapping partitions share the steady-partition live-state problem:
+        # the parallel runner falls back in process, byte-identically.
+        serial = _row_json(_adv_flapping())
+        assert _row_json(_with_shards(_adv_flapping, 4, parallel=True)) == serial
 
 
 class TestSeedGridParallelism:
