@@ -156,14 +156,21 @@ def main(argv=None) -> int:
         suffix = f"  ({ratio:.2f}x vs baseline)" if ratio else ""
         print(f"[perf]   {name}: {value:,.0f} {headline}{suffix}")
 
-    if not probe["repeat_identical"]:
+    if not probe["repeat_identical"] or not probe.get("chained_repeat_identical", True):
         print("[perf] DETERMINISM FAILURE: two same-seed probe runs disagreed "
               "within one process")
         return 1
-    if not probe.get("sharded_parity_identical", True):
+    if not probe.get("sharded_parity_identical", True) or not probe.get(
+        "chained_sharded_parity_identical", True
+    ):
         print("[perf] SHARDED PARITY FAILURE: the probe scenario produced "
               "different results serially and at shards=2 (the sharded kernel "
               "must be a pure execution-strategy knob)")
+        return 1
+    if not probe.get("chained_reduces_wire", True):
+        print("[perf] CHAINED WIRE FAILURE: hotstuff_chained committed the probe "
+              "workload with MORE wire messages per operation than basic "
+              "hotstuff — the pipelined engine's headline invariant")
         return 1
     if args.record_baseline:
         _rewrite_baseline(results)
@@ -236,13 +243,23 @@ def _print_comparison(old_path: str, new_report: dict) -> int:
         print(f"[perf]   {name}: {old_value:,.0f} -> {new_value:,.0f} {metric}  ({ratio:.2f}x){flag}")
     old_probe = old_report.get("determinism")
     new_probe = new_report.get("determinism")
-    if new_probe is not None and not new_probe.get("repeat_identical", True):
+    if new_probe is not None and not (
+        new_probe.get("repeat_identical", True)
+        and new_probe.get("chained_repeat_identical", True)
+    ):
         print("[perf][compare] DETERMINISM FAILURE: the new report's probe was "
               "not repeatable")
         return 1
-    if new_probe is not None and not new_probe.get("sharded_parity_identical", True):
+    if new_probe is not None and not (
+        new_probe.get("sharded_parity_identical", True)
+        and new_probe.get("chained_sharded_parity_identical", True)
+    ):
         print("[perf][compare] SHARDED PARITY FAILURE: the new report's probe "
               "diverged between serial and shards=2 execution (gating)")
+        return 1
+    if new_probe is not None and not new_probe.get("chained_reduces_wire", True):
+        print("[perf][compare] CHAINED WIRE FAILURE: hotstuff_chained spent more "
+              "wire messages per committed op than basic hotstuff (gating)")
         return 1
     if old_probe is None or new_probe is None:
         print("[perf][compare] determinism: no fingerprint on one side "
@@ -260,23 +277,29 @@ def _print_comparison(old_path: str, new_report: dict) -> int:
     # drift message (which a sanctioned re-pin would clear without anyone
     # noticing the protocol got chattier).  The 2% head-room only absorbs
     # float noise.
-    old_ratio = old_probe.get("wire_messages_per_committed_op")
-    new_ratio = new_probe.get("wire_messages_per_committed_op")
-    if old_ratio is not None and new_ratio is not None:
+    for key, label in (
+        ("wire_messages_per_committed_op", "wire/op"),
+        ("chained_wire_messages_per_committed_op", "chained wire/op"),
+    ):
+        old_ratio = old_probe.get(key)
+        new_ratio = new_probe.get(key)
+        if old_ratio is None or new_ratio is None:
+            continue  # older report predates this probe key; nothing to gate
         if new_ratio > old_ratio * 1.02 or (old_ratio > 0.0 and new_ratio == 0.0):
-            print("[perf][compare] WIRE/OP REGRESSION: "
+            print(f"[perf][compare] {label.upper()} REGRESSION: "
                   f"{old_ratio:.4f} -> {new_ratio:.4f} wire messages per committed "
                   "operation (gating; see the quiet-round invariant in "
                   "benchmarks/perf/macro_bench.py)")
             return 1
-        print(f"[perf][compare] wire/op invariant: {old_ratio:.4f} -> {new_ratio:.4f} (ok)")
-    if old_probe.get("fingerprint") != new_probe.get("fingerprint"):
-        print("[perf][compare] DETERMINISM MISMATCH: fixed-seed behaviour drifted "
-              f"({old_probe.get('fingerprint')} -> {new_probe.get('fingerprint')}). "
-              "If this PR deliberately changes simulated semantics, re-pin the "
-              "goldens (python -m tests.repin_goldens) and regenerate "
-              "BENCH_perf.json; otherwise this is a bug.")
-        return 1
+        print(f"[perf][compare] {label} invariant: {old_ratio:.4f} -> {new_ratio:.4f} (ok)")
+    for key in ("fingerprint", "chained_fingerprint"):
+        if old_probe.get(key) != new_probe.get(key):
+            print("[perf][compare] DETERMINISM MISMATCH: fixed-seed behaviour drifted "
+                  f"({key}: {old_probe.get(key)} -> {new_probe.get(key)}). "
+                  "If this PR deliberately changes simulated semantics, re-pin the "
+                  "goldens (python -m tests.repin_goldens) and regenerate "
+                  "BENCH_perf.json; otherwise this is a bug.")
+            return 1
     print("[perf][compare] determinism: fingerprints match")
     return 0
 

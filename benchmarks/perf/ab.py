@@ -39,6 +39,18 @@ def _closed_spec(duration: float, seed: int):
     )
 
 
+def _chained_spec(duration: float, seed: int):
+    return (
+        Scenario("ab-chained")
+        .clusters(4, 4)
+        .engine("hotstuff_chained")
+        .threads(8)
+        .duration(duration, warmup=0.25)
+        .seeds(seed)
+        .spec()
+    )
+
+
 def _open_spec(duration: float, seed: int):
     return (
         Scenario("ab-open")
@@ -107,6 +119,10 @@ PAIRS: Dict[str, Tuple[Tuple[str, Callable], Tuple[str, Callable]]] = {
     "sharded_sweep": (
         ("32-cluster geo sweep, serial", _geo_sweep_spec),
         ("32-cluster geo sweep, 4 shard workers", _geo_sweep_sharded_spec),
+    ),
+    "chained_vs_basic": (
+        ("basic hotstuff (3-phase)", _closed_spec),
+        ("chained hotstuff (pipelined)", _chained_spec),
     ),
 }
 
@@ -262,6 +278,11 @@ def run_pair(
             "repeats": float(repeats),
             "operations": runs[0]["operations"],
             "wire_messages": runs[0]["wire_messages"],
+            "wire_messages_per_committed_op": (
+                runs[0]["wire_messages"] / runs[0]["operations"]
+                if runs[0]["operations"]
+                else 0.0
+            ),
             "wall_s_mean": wall_mean,
             "wall_s_std": wall_std,
             "ops_per_sec_mean": rate_mean,
@@ -309,6 +330,16 @@ def format_report(report: Dict[str, object]) -> List[str]:
         f"[perf][ab]   ratio (b/a): {report['ops_per_sec_ratio']:.2f}x  "
         f"(Welch t={report['welch_t']:.2f}, p={report['welch_p']:.3f})  [{verdict}]"
     )
+    # Wire cost is deterministic (same seed, same window), so the wire/op
+    # delta needs no significance test — report it whenever both arms
+    # committed work.
+    wpo_a = arms["a"]["wire_messages_per_committed_op"]
+    wpo_b = arms["b"]["wire_messages_per_committed_op"]
+    if wpo_a and wpo_b:
+        lines.append(
+            f"[perf][ab]   wire/op: {wpo_a:.4f} -> {wpo_b:.4f} "
+            f"({100.0 * (wpo_b - wpo_a) / wpo_a:+.1f}%)"
+        )
     return lines
 
 

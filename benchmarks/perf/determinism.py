@@ -12,10 +12,16 @@ against the serial payload: the sharded kernel is an execution-strategy
 knob, never a semantics knob, and CI's perf-smoke job gates on that parity
 the same way it gates on repeatability.
 
+Since v4 the probe runs the whole battery a second time with the
+``hotstuff_chained`` engine: its own fingerprint, repeatability and sharded
+parity verdicts, its own wire/op invariant — and the headline claim of the
+chained engine, that it commits the same workload with *fewer* wire messages
+per operation than basic HotStuff, becomes a gated boolean.
+
 The probe is deliberately independent of ``--quick``: it always runs the
 same shape, so a quick CI run can be compared against a committed full run.
 Timing comparisons between perf reports stay non-gating (shared-runner
-noise); the determinism fingerprint and the sharded parity verdict are the
+noise); the determinism fingerprints and the parity verdicts are the
 things the perf-smoke job *fails* on, because a mismatch means behaviour
 drifted without a sanctioned golden re-pin (see ``tests/repin_goldens.py``).
 """
@@ -32,16 +38,20 @@ from typing import Dict
 #: v3: cluster-sharded kernel — per-sender latency jitter streams and
 #: owner-routed cross-cluster mailboxes changed same-seed schedules
 #: (sanctioned re-pin); the probe now also gates serial-vs-sharded parity.
-PROBE_VERSION = 3
+#: v4: chained HotStuff engine — the probe battery now runs a second,
+#: ``hotstuff_chained`` pass (fingerprint, repeatability, sharded parity,
+#: wire/op) and gates chained-beats-basic on wire/op; the basic pass was
+#: also re-pinned for the receiver-side LocalShare CPU charging fix.
+PROBE_VERSION = 4
 
 
-def _probe_spec(shards: int = 1):
+def _probe_spec(engine: str = "hotstuff", shards: int = 1):
     from repro.harness.builder import Scenario
 
     builder = (
         Scenario("determinism-probe")
         .clusters(4, 4)
-        .engine("hotstuff")
+        .engine(engine)
         .threads(4)
         .duration(0.75, warmup=0.1)
         .seeds(7)
@@ -51,12 +61,12 @@ def _probe_spec(shards: int = 1):
     return builder.spec()
 
 
-def run_probe() -> Dict[str, object]:
-    """Run the probe twice plus once sharded; fingerprint and verdicts."""
+def _engine_battery(engine: str) -> Dict[str, object]:
+    """Two serial runs plus one 2-shard run of one engine's probe scenario."""
     import json
 
     def one_run(shards: int = 1) -> str:
-        spec = _probe_spec(shards=shards)
+        spec = _probe_spec(engine=engine, shards=shards)
         deployment = spec.build()
         metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
         return json.dumps(
@@ -81,22 +91,47 @@ def run_probe() -> Dict[str, object]:
     first = one_run()
     second = one_run()
     sharded = one_run(shards=2)
-    payload = f"v{PROBE_VERSION}|{first}".encode("utf-8")
+    payload = f"v{PROBE_VERSION}|{engine}|{first}".encode("utf-8")
     data = json.loads(first)
     operations = data["operations"]
     wire = data["network"]["messages_sent"]
     return {
-        "probe_version": PROBE_VERSION,
-        "scenario": "determinism-probe (4+4 hotstuff, 0.75s, seed 7)",
         "events": data["events"],
-        # Deterministic protocol-efficiency invariant (see macro_bench):
-        # gated by ``--compare`` so a quiet-round regression fails fast even
-        # though the probe's duration differs from the macro run's.
         "wire_messages_per_committed_op": wire / operations if operations else 0.0,
         "fingerprint": hashlib.sha256(payload).hexdigest(),
         "repeat_identical": first == second,
         # Serial vs 2-shard coordinator, same seed: must be byte-identical.
         "sharded_parity_identical": without_events(first) == without_events(sharded),
+    }
+
+
+def run_probe() -> Dict[str, object]:
+    """Run both engine batteries; fingerprints, verdicts, invariants."""
+    basic = _engine_battery("hotstuff")
+    chained = _engine_battery("hotstuff_chained")
+    return {
+        "probe_version": PROBE_VERSION,
+        "scenario": "determinism-probe (4+4, 0.75s, seed 7; hotstuff + chained)",
+        "events": basic["events"],
+        # Deterministic protocol-efficiency invariant (see macro_bench):
+        # gated by ``--compare`` so a quiet-round regression fails fast even
+        # though the probe's duration differs from the macro run's.
+        "wire_messages_per_committed_op": basic["wire_messages_per_committed_op"],
+        "fingerprint": basic["fingerprint"],
+        "repeat_identical": basic["repeat_identical"],
+        "sharded_parity_identical": basic["sharded_parity_identical"],
+        "chained_events": chained["events"],
+        "chained_wire_messages_per_committed_op": chained[
+            "wire_messages_per_committed_op"
+        ],
+        "chained_fingerprint": chained["fingerprint"],
+        "chained_repeat_identical": chained["repeat_identical"],
+        "chained_sharded_parity_identical": chained["sharded_parity_identical"],
+        # The chained engine's reason to exist, as a gated invariant.
+        "chained_reduces_wire": (
+            chained["wire_messages_per_committed_op"]
+            < basic["wire_messages_per_committed_op"]
+        ),
     }
 
 

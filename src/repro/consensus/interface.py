@@ -39,10 +39,16 @@ class ConsensusConfig:
             large timeouts, e.g. 20 s, to avoid spurious view changes).
         payload_byte_size: Estimated serialized size of one transaction,
             used by the bandwidth model (the paper uses 1 KB operations).
+        chained_decide_grace: How long the chained engine's leader waits for
+            a successor proposal to piggyback a decision before falling back
+            to an explicit decide broadcast (``hotstuff_chained`` only).
+            Must be well below ``instance_timeout`` so followers never
+            complain about a decide that is merely riding the chain.
     """
 
     instance_timeout: float = 20.0
     payload_byte_size: int = 1024
+    chained_decide_grace: float = 0.05
 
 
 @dataclass
@@ -267,6 +273,15 @@ class TotalOrderBroadcast(ABC):
 
     def _request_catchup(self, sequence: int) -> None:
         """Subclass hook: ask the current leader to repair a stuck instance."""
+
+    def set_timer_rate(self, rate: float) -> None:
+        """Skew every engine timer pool (gray-failure clock-skew faults).
+
+        Subclasses owning additional deadline pools (e.g. the chained
+        engine's decide-grace pool) extend this so a clock-skew event
+        reaches all of them.
+        """
+        self._watchdogs.rate = rate
 
     def stop_instance_timer(self, sequence: int) -> None:
         """Disarm the leader watchdog for a decided instance."""

@@ -11,12 +11,14 @@ from typing import Callable, Dict, Type
 
 from repro.consensus.bftsmart import BftSmartEngine
 from repro.consensus.hotstuff import HotStuffEngine
+from repro.consensus.hotstuff_chained import ChainedHotStuffEngine
 from repro.consensus.interface import TotalOrderBroadcast
 from repro.errors import ConfigurationError
 
 #: Mapping from engine name to engine class.
 ENGINES: Dict[str, Type[TotalOrderBroadcast]] = {
     "hotstuff": HotStuffEngine,
+    "hotstuff_chained": ChainedHotStuffEngine,
     "bftsmart": BftSmartEngine,
 }
 

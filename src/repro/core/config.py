@@ -208,10 +208,9 @@ class HamavaConfig:
         """A copy with adjusted fault-detection timeouts (used by benches)."""
         consensus = self.consensus
         if instance_timeout is not None:
-            consensus = ConsensusConfig(
-                instance_timeout=instance_timeout,
-                payload_byte_size=consensus.payload_byte_size,
-            )
+            # ``replace`` (not a fresh ConsensusConfig) so engine-specific
+            # fields like ``chained_decide_grace`` survive a timeout tweak.
+            consensus = replace(consensus, instance_timeout=instance_timeout)
         return replace(
             self,
             remote_timeout=remote_timeout if remote_timeout is not None else self.remote_timeout,

@@ -372,9 +372,9 @@ class HamavaReplica(Process):
         """
         super().set_timer_rate(rate)
         self._brd_timer_pool.rate = rate
-        watchdogs = getattr(self.tob, "_watchdogs", None)
-        if watchdogs is not None:
-            watchdogs.rate = rate
+        # Engines own their pools (the chained engine has a decide-grace
+        # pool besides the watchdogs); let them skew everything they hold.
+        self.tob.set_timer_rate(rate)
         watch_pool = getattr(self.rlc, "_watch_pool", None)
         if watch_pool is not None:
             watch_pool.rate = rate
@@ -668,11 +668,27 @@ class HamavaReplica(Process):
             return
         if message.cluster_id in self.operations:
             return
+        # Shares are shipped at envelope-only cost (see LocalShare): only
+        # the one copy that survives the dedup above pays the certificate
+        # verifications, charged here against this replica's receive CPU.
+        # Self-shares are exempt — an Inter receiver validated (and was
+        # charged for) the bundle in ``_on_inter`` before sharing it.
+        if sender != self.process_id:
+            self.network.charge_verification(
+                self.process_id, self._bundle_verification_signatures(message.bundle)
+            )
         if not self._bundle_valid(message.cluster_id, message.round_number, message.bundle):
             return
         self.operations[message.cluster_id] = message.bundle
         self.rlc.stop_timer(message.cluster_id)
         self._maybe_execute()
+
+    def _bundle_verification_signatures(self, bundle: OperationsBundle) -> int:
+        """Signatures ``_bundle_valid`` checks: both certificates' worth."""
+        signatures = len(bundle.txn_certificate) if bundle.txn_certificate is not None else 0
+        if self.config.parallel_reconfig and bundle.recs_ready_certificate is not None:
+            signatures += len(bundle.recs_ready_certificate)
+        return signatures
 
     # ------------------------------------------------------------------ #
     # Stage 3: execution (Alg. 10)

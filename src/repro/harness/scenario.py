@@ -335,7 +335,7 @@ def _resolve_class(path: str) -> type:
 # Configuration overrides
 # ---------------------------------------------------------------------- #
 #: Override keys that live on the nested ConsensusConfig.
-_CONSENSUS_KEYS = ("instance_timeout", "payload_byte_size")
+_CONSENSUS_KEYS = ("instance_timeout", "payload_byte_size", "chained_decide_grace")
 
 
 def apply_config_overrides(config: HamavaConfig, overrides: Dict[str, object]) -> HamavaConfig:

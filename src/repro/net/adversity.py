@@ -218,6 +218,42 @@ class RttTrace:
         trace.validate()
         return trace
 
+    def to_file(self, path: str) -> None:
+        """Write the trace as a JSON file (the :meth:`to_dict` shape)."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_file(cls, path: str) -> "RttTrace":
+        """Load a trace from a JSON file written by :meth:`to_file`.
+
+        The format is the :meth:`to_dict` shape — measured RTT series
+        exported from cloud probes drop in directly::
+
+            {"segments": {"us-west1|europe-west3": [[0.0, 148.0], [2.0, 151.3]]}}
+
+        Validation mirrors :meth:`from_dict`: unsorted points, non-positive
+        RTTs, malformed pair keys, or an empty trace raise
+        :class:`ConfigurationError` rather than producing a silently wrong
+        schedule.
+        """
+        import json
+
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ConfigurationError(f"RttTrace.from_file: cannot read {path!r}: {error}")
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"RttTrace.from_file: {path!r} must hold a JSON object, "
+                f"got {type(payload).__name__}"
+            )
+        return cls.from_dict(payload)
+
     def copy(self) -> "RttTrace":
         """An independent deep copy."""
         return RttTrace(segments={pair: list(series) for pair, series in self.segments.items()})

@@ -384,6 +384,34 @@ class DeliveryPipeline:
             other.route.clear()
 
     # ------------------------------------------------------------------ #
+    # Receiver-state-aware CPU charges
+    # ------------------------------------------------------------------ #
+    def charge_verification(self, process_id: str, signatures: int) -> None:
+        """Charge ``signatures`` verifications to a receiver's CPU, lazily.
+
+        The fused pipeline prices verification at *send* time, which is
+        right only when every receiver verifies every message.  Handlers
+        that verify conditionally — a ``LocalShare`` receiver drops
+        duplicates before touching the certificates — send the message at
+        its envelope-only cost and call this from inside the handler when
+        they really do the work.  The charge advances the receiver's
+        ``recv_free`` watermark, delaying hand-over slots assigned *after*
+        this instant; messages already scheduled keep their slots (the
+        fused schedule is immutable once written, and the deterministic
+        handler order makes the watermark shard-layout invariant).
+        """
+        if not self._cpu_model or signatures <= 0:
+            return
+        port = self.ports.get(process_id)
+        if port is None:
+            return
+        now = self.simulator.now
+        free = port.recv_free
+        if free < now:
+            free = now
+        port.recv_free = free + signatures * self._signature_verify_cost * port.cpu_factor
+
+    # ------------------------------------------------------------------ #
     # Sending
     # ------------------------------------------------------------------ #
     def send(
@@ -1021,6 +1049,10 @@ class Network:
     ) -> None:
         """Send one message to many destinations with sender-side staggering."""
         self.pipeline.multicast(sender, destinations, payload, signature)
+
+    def charge_verification(self, process_id: str, signatures: int) -> None:
+        """Charge in-handler verification CPU (see the pipeline method)."""
+        self.pipeline.charge_verification(process_id, signatures)
 
     def _should_drop(self, sender: str, destination: str, payload: Message) -> bool:
         return self.pipeline._should_drop(sender, destination, payload)

@@ -9,6 +9,7 @@ non-zero shard, partition healing overlapping reconfiguration).
 
 from __future__ import annotations
 
+import os
 import types
 import warnings
 
@@ -87,6 +88,38 @@ class TestRttTrace:
         rebuilt = RttTrace.from_dict(trace.to_dict())
         assert rebuilt.segments == trace.segments
         assert rebuilt.to_dict() == trace.to_dict()
+
+    def test_round_trips_through_a_json_file(self, tmp_path):
+        trace = self._trace()
+        path = str(tmp_path / "trace.json")
+        trace.to_file(path)
+        loaded = RttTrace.from_file(path)
+        assert loaded.segments == trace.segments
+        assert loaded.to_dict() == trace.to_dict()
+        assert loaded.rtt_at(*self.PAIR, 0.5) == trace.rtt_at(*self.PAIR, 0.5)
+
+    def test_from_file_rejects_bad_inputs(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RttTrace.from_file(str(tmp_path / "does-not-exist.json"))
+        garbled = tmp_path / "garbled.json"
+        garbled.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            RttTrace.from_file(str(garbled))
+        array = tmp_path / "array.json"
+        array.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            RttTrace.from_file(str(array))
+        unsorted = tmp_path / "unsorted.json"
+        unsorted.write_text('{"segments": {"a|b": [[1.0, 100.0], [0.0, 100.0]]}}')
+        with pytest.raises(ConfigurationError):
+            RttTrace.from_file(str(unsorted))
+
+    def test_shipped_example_trace_loads_and_validates(self):
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        trace = RttTrace.from_file(os.path.join(root, "examples", "rtt_trace_geo.json"))
+        trace.validate()
+        assert ("europe-west3", "us-west1") in trace.segments
+        assert trace.rtt_at("us-west1", "europe-west3", 0.0) > 0
 
     def test_synthetic_is_deterministic_and_covers_duration(self):
         kwargs = dict(pairs=[(*self.PAIR, 148.0)], duration=5.0, seed=13)

@@ -1,0 +1,195 @@
+"""Fault-path tests for the chained (pipelined) HotStuff engine.
+
+The happy path is covered by the engine-parametrized suite in
+``test_consensus_engines.py``; these tests pin the chained-specific
+machinery — the decide piggyback and its grace fallback, view changes that
+re-anchor the chain on the highest prepared QC, a leader crash between
+chained proposals, Byzantine equivocation across chained views, and the
+quiet-round BRD proof riding a chained decide.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.hotstuff_chained import ChainedHotStuffEngine, ChProposal
+from repro.harness.runner import run_scenario
+from repro.harness.scenario import ScenarioSpec
+from tests.test_consensus_engines import build_cluster
+
+
+# ---------------------------------------------------------------------- #
+# Decide piggyback and the grace fallback
+# ---------------------------------------------------------------------- #
+class TestDecideAnnouncement:
+    def test_decide_rides_the_successor_proposal(self):
+        simulator, network, hosts = build_cluster(ChainedHotStuffEngine)
+        hosts[0].engine.propose(1, ["a"])
+        # The leader decides seq 1 at ~2.6 ms; the successor proposal lands
+        # well inside the 50 ms grace window, so the chain carries seq 1's
+        # decide.  Only the chain's tail (seq 2, no successor) falls back
+        # to one explicit grace-triggered ChDecide broadcast.
+        simulator.schedule(0.02, lambda: hosts[0].engine.propose(2, ["b"]))
+        simulator.run(until=1.0)
+        for host in hosts:
+            assert {d.sequence: d.value for d in host.decisions} == {1: ["a"], 2: ["b"]}
+        assert network.stats.by_type["ChDecide"] == 4  # the tail only, n=4
+        assert network.stats.by_type["ChProposal"] == 8  # two broadcasts
+        # Followers learned seq 1 from the proposal at ~20 ms, far inside
+        # the 50 ms grace — proof the announcement rode the chain.
+        for host in hosts[1:]:
+            decided_at = {d.sequence: d.decided_at for d in host.decisions}
+            assert decided_at[1] < 0.05
+
+    def test_grace_fallback_broadcasts_an_explicit_decide(self):
+        simulator, network, hosts = build_cluster(ChainedHotStuffEngine)
+        hosts[0].engine.propose(1, ["solo"])
+        simulator.run(until=1.0)
+        for host in hosts:
+            assert [d.value for d in host.decisions] == [["solo"]]
+        # No successor proposal ever arrived: the grace timer must have
+        # announced the decision explicitly, exactly once.
+        assert network.stats.by_type["ChDecide"] == 4  # one broadcast, n=4
+        leader_decided = hosts[0].decisions[0].decided_at
+        for host in hosts[1:]:
+            lag = host.decisions[0].decided_at - leader_decided
+            assert lag >= 0.05, "followers must not learn before the grace fires"
+            assert lag < 0.1
+
+
+# ---------------------------------------------------------------------- #
+# View change mid-chain: re-anchor on the highest prepared QC
+# ---------------------------------------------------------------------- #
+class TestViewChangeMidChain:
+    def test_locked_value_survives_the_view_change(self):
+        simulator, _, hosts = build_cluster(ChainedHotStuffEngine, timeout=5.0)
+        leader = hosts[0].engine
+        original_on_vote = leader._on_vote
+
+        def drop_commit_votes(sender, vote):
+            if vote.phase == "commit":
+                return
+            original_on_vote(sender, vote)
+
+        # The leader broadcasts the prepare QC (so every replica locks on
+        # ["locked"]) but never assembles the commit quorum: the chain
+        # stalls mid-instance with locks installed.
+        leader._on_vote = drop_commit_votes
+        hosts[0].engine.propose(1, ["locked"])
+        simulator.run(until=1.0)
+        assert all(not host.decisions for host in hosts)
+        for host in hosts[1:]:
+            assert host.engine._locked.get(1) is not None
+
+        for host in hosts[1:]:
+            host.engine.new_leader("p1", 1)
+        simulator.run(until=6.0)
+        # The new leader collected the ChNewView reports, adopted the
+        # highest verified prepared certificate, and re-proposed the locked
+        # value — not its fetch_value fallback.
+        for host in hosts[1:]:
+            assert [d.value for d in host.decisions] == [["locked"]]
+
+    def test_leader_crash_between_chained_proposals(self):
+        simulator, _, hosts = build_cluster(ChainedHotStuffEngine, timeout=5.0)
+        leader_host = hosts[0]
+        record = leader_host.decisions.append
+
+        def decide_then_crash(decision):
+            record(decision)
+            leader_host.crash()
+
+        # The leader dies the instant it decides seq 1 locally — after the
+        # commit quorum, before the piggyback or grace announcement — the
+        # worst spot in the chain: it alone knows the decision.
+        leader_host.engine.on_deliver = decide_then_crash
+        leader_host.engine.propose(1, ["survives"])
+        simulator.run(until=1.0)
+        assert [d.value for d in leader_host.decisions] == [["survives"]]
+        assert all(not host.decisions for host in hosts[1:])
+
+        for host in hosts[1:]:
+            host.engine.new_leader("p1", 1)
+        simulator.run(until=6.0)
+        # Survivors were locked on the decided value (the commit quorum
+        # implies 2f+1 locks), so the new view must re-decide exactly it.
+        for host in hosts[1:]:
+            assert [d.value for d in host.decisions] == [["survives"]]
+
+
+# ---------------------------------------------------------------------- #
+# Byzantine equivocation across chained views
+# ---------------------------------------------------------------------- #
+class TestEquivocation:
+    def test_equivocating_proposals_never_yield_conflicting_decisions(self):
+        simulator, _, hosts = build_cluster(ChainedHotStuffEngine, timeout=1.0)
+        rogue = hosts[0].engine
+
+        def equivocate():
+            # p0 shows ["beta"] to p2 and p3 before its real proposal
+            # reaches anyone: they prepare-vote beta at view 0 (vote-once),
+            # p1 prepare-votes the real ["alpha"], and no value can gather
+            # a prepare quorum in view 0.
+            fake = ChProposal(cluster_id=0, sequence=1, view=rogue.view_ts, value=["beta"])
+            rogue.apl.send("p2", fake)
+            rogue.apl.send("p3", fake)
+
+        simulator.schedule(0.0, equivocate)
+        simulator.schedule(0.005, lambda: rogue.propose(1, ["alpha"]))
+        simulator.run(until=1.4)
+        assert all(not host.decisions for host in hosts)
+
+        for host in hosts:
+            host.engine.new_leader("p1", 1)
+        simulator.run(until=8.0)
+        # Nobody locked in view 0, so the new leader is free to re-propose;
+        # whatever it picks, every replica that decides seq 1 must decide
+        # the same value — equivocation must not split the cluster.
+        decided = {repr(d.value) for host in hosts for d in host.decisions if d.sequence == 1}
+        assert len(decided) == 1
+        for host in hosts[1:]:
+            assert len(host.decisions) == 1
+
+
+# ---------------------------------------------------------------------- #
+# Quiet-round BRD proofs on the chained decide path (integration)
+# ---------------------------------------------------------------------- #
+def _chained_spec(**overrides):
+    return ScenarioSpec(
+        name="chained-quiet",
+        clusters=[(4, "us-west1"), (4, "us-west1")],
+        engine="hotstuff_chained",
+        seed=9,
+        duration=1.0,
+        warmup=0.2,
+        client_threads=4,
+        config_overrides=overrides,
+    )
+
+
+class TestQuietRoundsOnTheChain:
+    def test_quiet_proof_rides_the_chained_decide(self):
+        spec = _chained_spec()
+        deployment = spec.build()
+        metrics = deployment.run(duration=spec.duration, warmup=spec.warmup)
+        assert metrics.committed_count() > 0
+        census = deployment.network.stats.by_type
+        # Reconfig-free rounds must take BRD's quiet path end to end: the
+        # proof rides the chained decide (taken at local-decide time, before
+        # the replica's own aggregation flush), so the full aggregate
+        # broadcast never fires.
+        assert census.get("BrdQuietDeliver", 0) > 0
+        assert census.get("BrdAgg", 0) == 0
+        assert census.get("BrdEcho", 0) == 0
+        assert census.get("ChDecide", 0) > 0
+
+    def test_piggyback_engages_when_brd_is_not_gating(self):
+        # Without the parallel reconfig stage nothing time-critical rides
+        # the decide, so the chain is allowed to carry it: some decides must
+        # travel inside successor proposals instead of explicit broadcasts.
+        spec = _chained_spec(parallel_reconfig=False)
+        row = run_scenario(spec)
+        assert row.error is None
+        assert row.operations > 0
+        deployment = spec.build()
+        deployment.run(duration=spec.duration, warmup=spec.warmup)
+        census = deployment.network.stats.by_type
+        assert census.get("ChDecide", 0) < census["ChProposal"]

@@ -6,6 +6,7 @@ import pytest
 
 from repro.consensus.bftsmart import BftSmartEngine
 from repro.consensus.hotstuff import HotStuffEngine
+from repro.consensus.hotstuff_chained import ChainedHotStuffEngine
 from repro.consensus.interface import ConsensusConfig, commit_digest
 from repro.consensus.leader_election import ElectionComplaint, LeaderElection
 from repro.consensus.registry import ENGINES, make_engine
@@ -56,7 +57,7 @@ def build_cluster(engine_cls, size=4, seed=3, timeout=1.0):
     return simulator, network, hosts
 
 
-@pytest.mark.parametrize("engine_cls", [HotStuffEngine, BftSmartEngine])
+@pytest.mark.parametrize("engine_cls", [HotStuffEngine, ChainedHotStuffEngine, BftSmartEngine])
 class TestEngines:
     def test_all_replicas_deliver_leaders_proposal(self, engine_cls):
         simulator, _, hosts = build_cluster(engine_cls)
@@ -128,7 +129,7 @@ class TestEngines:
 
 class TestRegistry:
     def test_known_engines(self):
-        assert set(ENGINES) >= {"hotstuff", "bftsmart"}
+        assert set(ENGINES) >= {"hotstuff", "hotstuff_chained", "bftsmart"}
 
     def test_make_engine_rejects_unknown(self):
         with pytest.raises(ConfigurationError):

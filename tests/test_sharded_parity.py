@@ -285,6 +285,49 @@ def _adv_trace():
     )
 
 
+def _chained_e0():
+    return (
+        Scenario("p-ch-e0")
+        .clusters(4, 4, 4, 4)
+        .engine("hotstuff_chained")
+        .threads(2)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(7)
+        .spec()
+    )
+
+
+def _chained_faults():
+    return (
+        Scenario("p-ch-faults")
+        .clusters((4, "us-west1"), (4, "europe-west3"), (4, "us-west1"), (4, "europe-west3"))
+        .engine("hotstuff_chained")
+        .threads(2)
+        .crash_non_leaders(1, at=0.3)
+        .crash_leader(2, at=0.4)
+        .byzantine_leader(3, at=0.35)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(19)
+        .spec()
+    )
+
+
+def _chained_open_leases():
+    return (
+        Scenario("p-ch-leases")
+        .clusters(4, 4, 4, 4)
+        .engine("hotstuff_chained")
+        .open_loop(clients=150, rate=250.0)
+        .read_leases(True)
+        .duration(0.8)
+        .warmup(0.2)
+        .seeds(43)
+        .spec()
+    )
+
+
 FAMILIES = {
     "e0": _e0_baseline,
     "e1": _e1_multiregion,
@@ -303,6 +346,9 @@ FAMILIES = {
     "adv-outage": _adv_outage,
     "adv-congestion": _adv_congestion,
     "adv-trace": _adv_trace,
+    "chained-e0": _chained_e0,
+    "chained-faults": _chained_faults,
+    "chained-open-leases": _chained_open_leases,
 }
 
 
@@ -321,6 +367,9 @@ class TestShardedParity:
         # shards=1 must use the exact serial code path, not a 1-way coordinator.
         assert _row_json(_with_shards(_e0_baseline, 1)) == _row_json(_e0_baseline())
 
+    def test_chained_single_shard_spec_equals_unsharded(self):
+        assert _row_json(_with_shards(_chained_e0, 1)) == _row_json(_chained_e0())
+
 
 class TestShardParallelWorkers:
     """The forked-worker path reproduces the serial rows byte-for-byte."""
@@ -338,6 +387,14 @@ class TestShardParallelWorkers:
     def test_population_parallel_workers_match_serial(self):
         serial = _row_json(_population_steady())
         assert _row_json(_with_shards(_population_steady, 4, parallel=True)) == serial
+
+    def test_chained_parallel_workers_match_serial(self):
+        # The chained engine's cross-replica state (grace timers, piggybacked
+        # decides) is cluster-local, so forked shard workers must reproduce
+        # the serial rows exactly, faults included.
+        for builder_fn in (_chained_e0, _chained_faults):
+            serial = _row_json(builder_fn())
+            assert _row_json(_with_shards(builder_fn, 2, parallel=True)) == serial
 
     def test_partition_spec_falls_back_in_process_identically(self):
         # Partition drop rules read live replica state across clusters, so
