@@ -1,0 +1,31 @@
+"""detlint — static determinism & shard-safety analysis.
+
+The runtime guarantees this reproduction sells — byte-identical fixed-seed
+ResultRows, serial-vs-sharded parity across shard layouts, golden-pinned
+wire/op — are enforced dynamically by minutes-long parity suites and the
+determinism probe.  ``detlint`` is their *static* complement: an AST
+analyzer that flags, at commit time and with a ``file:line`` pointer, the
+hazard classes that historically break those suites (stray RNGs outside
+``sim/rng.py``, unsorted ``set`` iteration on scheduling paths,
+module-level mutable state shared across ``Shard``s, hot-path classes
+without ``__slots__``, unregistered protocol messages, spec dataclasses
+that cannot round-trip through JSON).
+
+Run it as::
+
+    python -m repro.analysis.detlint src/
+
+Findings can be sanctioned inline (``# detlint: disable=RULE -- rationale``)
+or through the checked-in baseline file (``detlint_baseline.json``), which
+CI only ever allows to shrink.  See the README's "Static analysis" section
+for the rule table and policy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.detlint.baseline import Baseline
+from repro.analysis.detlint.engine import LintReport, lint_paths
+from repro.analysis.detlint.findings import Finding
+from repro.analysis.detlint.rules import RULES, all_rules
+
+__all__ = ["Baseline", "Finding", "LintReport", "RULES", "all_rules", "lint_paths"]

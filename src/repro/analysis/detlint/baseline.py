@@ -1,0 +1,112 @@
+"""The checked-in baseline of sanctioned legacy findings.
+
+The baseline is a ratchet, not a dumping ground: each entry names one
+``(rule, path, context)`` finding that predates the analyzer (or is an
+explicit, rationale-carrying design decision, e.g. ``Message`` dataclasses
+whose digest caches live in the instance ``__dict__``).  Entries are keyed
+without line numbers so refactors that merely move code do not churn the
+file.  CI enforces the shrink-only policy from both sides:
+
+* a finding **not** covered by the baseline (or an inline suppression)
+  fails the run — the baseline cannot be grown by accident, only by a
+  reviewed edit adding an entry with a rationale, and
+* a baseline entry that no longer matches any finding **also** fails the
+  run — fixing the code obliges you to delete the entry, so the file never
+  accretes dead weight and its length only moves down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.analysis.detlint.findings import Finding
+
+_VERSION = 1
+
+
+class Baseline:
+    """Sanctioned findings, loaded from / saved to ``detlint_baseline.json``."""
+
+    def __init__(self, entries: Optional[List[Dict[str, str]]] = None) -> None:
+        #: key -> entry dict ({"rule", "path", "context", "rationale"}).
+        self._entries: Dict[str, Dict[str, str]] = {}
+        for entry in entries or []:
+            self._entries[self._key(entry)] = dict(entry)
+        self._matched: set = set()
+
+    @staticmethod
+    def _key(entry: Dict[str, str]) -> str:
+        return f"{entry['rule']}::{entry['path']}::{entry.get('context', '')}"
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # Matching
+    # ------------------------------------------------------------------ #
+    def covers(self, finding: Finding) -> bool:
+        """Whether ``finding`` is sanctioned; marks the entry as live."""
+        key = finding.baseline_key
+        if key in self._entries:
+            self._matched.add(key)
+            return True
+        return False
+
+    def stale_entries(self) -> List[Dict[str, str]]:
+        """Entries that matched nothing this run — the code was fixed.
+
+        The shrink ratchet: these must be *deleted* from the baseline file
+        (a stale entry fails CI), so the baseline can only move toward
+        empty.
+        """
+        return [entry for key, entry in sorted(self._entries.items()) if key not in self._matched]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file (the :meth:`save` shape)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise ValueError(f"{path}: not a detlint baseline (want version={_VERSION})")
+        return cls(entries=payload.get("entries", []))
+
+    def save(self, path: str) -> None:
+        """Write the baseline with stable ordering (reviewable diffs)."""
+        entries = [self._entries[key] for key in sorted(self._entries)]
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"version": _VERSION, "entries": entries}, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], rationales: Optional[Dict[str, str]] = None
+    ) -> "Baseline":
+        """Build a baseline sanctioning ``findings`` (``--write-baseline``).
+
+        ``rationales`` maps baseline keys (or bare rule codes, as a batch
+        default) to justification strings carried into the entries.
+        """
+        rationales = rationales or {}
+        entries: List[Dict[str, str]] = []
+        seen: set = set()
+        for finding in findings:
+            key = finding.baseline_key
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "context": finding.context,
+                    "rationale": rationales.get(key, rationales.get(finding.rule, "TODO: justify")),
+                }
+            )
+        return cls(entries=entries)
+
+
+__all__ = ["Baseline"]

@@ -1,0 +1,20 @@
+"""Rule registry: importing this package registers every shipped rule."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.detlint.rules import determinism as _determinism  # noqa: F401
+from repro.analysis.detlint.rules import structure as _structure  # noqa: F401
+from repro.analysis.detlint.rules.base import RULE_REGISTRY, Rule
+
+#: Rule codes in registration (== documentation) order.
+RULES = tuple(RULE_REGISTRY)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in stable code order."""
+    return [RULE_REGISTRY[code]() for code in sorted(RULE_REGISTRY)]
+
+
+__all__ = ["RULES", "all_rules"]

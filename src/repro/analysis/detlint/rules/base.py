@@ -1,0 +1,208 @@
+"""Rule protocol, registry, and the shared AST toolbox."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Type
+
+from repro.analysis.detlint.config import LintConfig
+from repro.analysis.detlint.findings import Finding
+
+#: Ordered registry of rule classes, populated by :func:`register`.
+RULE_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def register(rule_cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the registry (import-order stable)."""
+    RULE_REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+class Rule:
+    """One statically checkable invariant.
+
+    Subclasses set ``code``/``title``/``hint`` and override
+    :meth:`check_module` (per-file rules) and/or :meth:`check_project`
+    (cross-file rules — run once after every module is parsed).
+    """
+
+    code: str = ""
+    title: str = ""
+    hint: str = ""
+
+    def check_module(self, module: "ModuleFile", config: LintConfig) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "Project", config: LintConfig) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self,
+        module: "ModuleFile",
+        node: ast.AST,
+        message: str,
+        context: str = "",
+        hint: Optional[str] = None,
+    ) -> Finding:
+        """Build a finding anchored at ``node`` with this rule's defaults."""
+        return Finding(
+            rule=self.code,
+            path=module.module_rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            context=context or module.context_of(node),
+            hint=self.hint if hint is None else hint,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Parsed-module model
+# ---------------------------------------------------------------------- #
+class ModuleFile:
+    """One parsed source file plus the derived indexes rules share."""
+
+    def __init__(self, path: str, module_rel: str, source: str) -> None:
+        self.path = path
+        self.module_rel = module_rel
+        self.source_lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._contexts: Dict[int, str] = {}
+        self._annotate_contexts(self.tree, "")
+        #: ``alias -> dotted module`` for ``import x [as y]`` and
+        #: ``name -> "module.name"`` for ``from module import name [as y]``.
+        self.import_map: Dict[str, str] = {}
+        self._index_imports()
+
+    # -- enclosing-scope qualnames ------------------------------------- #
+    def _annotate_contexts(self, node: ast.AST, context: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_context = context
+            if isinstance(child, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_context = f"{context}.{child.name}" if context else child.name
+            self._contexts[id(child)] = child_context
+            self._annotate_contexts(child, child_context)
+
+    def context_of(self, node: ast.AST) -> str:
+        """Qualname of the class/function enclosing ``node`` ('' at top level)."""
+        return self._contexts.get(id(node), "")
+
+    # -- imports -------------------------------------------------------- #
+    def _index_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_map[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self.import_map[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def resolve_call_name(self, func: ast.expr) -> str:
+        """Fully qualified dotted name of a call target, best effort.
+
+        ``time()`` after ``from time import time`` resolves to
+        ``"time.time"``; ``dt.now()`` after ``import datetime as dt`` to
+        ``"datetime.now"`` — callers match on prefixes, so attribute chains
+        through un-importable roots return ``""``.
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return ""
+        root = self.import_map.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+class Project:
+    """Every parsed module of one run, for cross-file rules."""
+
+    def __init__(self, modules: List[ModuleFile]) -> None:
+        self.modules = modules
+
+    def find(self, module_rel: str) -> Optional[ModuleFile]:
+        for module in self.modules:
+            if module.module_rel == module_rel:
+                return module
+        return None
+
+
+# ---------------------------------------------------------------------- #
+# Shared AST predicates
+# ---------------------------------------------------------------------- #
+def class_has_slots(node: ast.ClassDef) -> bool:
+    """Whether a class body assigns ``__slots__`` or uses ``@dataclass(slots=True)``."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == "__slots__" for t in stmt.targets):
+                return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__slots__":
+                return True
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "slots" and isinstance(keyword.value, ast.Constant):
+                    if keyword.value.value is True:
+                        return True
+    return False
+
+
+def is_dataclass_def(node: ast.ClassDef) -> bool:
+    """Whether a class is decorated with ``@dataclass`` (bare or called)."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name == "dataclass":
+            return True
+    return False
+
+
+def direct_base_names(node: ast.ClassDef) -> List[str]:
+    """Unqualified names of a class's direct bases."""
+    names: List[str] = []
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def defined_methods(node: ast.ClassDef) -> List[str]:
+    """Names of methods defined directly in a class body."""
+    return [
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def dataclass_field_annotations(node: ast.ClassDef) -> List[ast.AnnAssign]:
+    """The class body's annotated assignments (dataclass field declarations)."""
+    return [stmt for stmt in node.body if isinstance(stmt, ast.AnnAssign)]
+
+
+def annotation_is_classvar(annotation: ast.expr) -> bool:
+    """Whether an annotation is ``ClassVar[...]`` (not a dataclass field)."""
+    target = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+    return name == "ClassVar"
+
+
+__all__ = [
+    "ModuleFile",
+    "Project",
+    "RULE_REGISTRY",
+    "Rule",
+    "annotation_is_classvar",
+    "class_has_slots",
+    "dataclass_field_annotations",
+    "defined_methods",
+    "direct_base_names",
+    "is_dataclass_def",
+    "register",
+]

@@ -1,0 +1,51 @@
+"""Inline suppressions: ``# detlint: disable=RULE[,RULE...] [-- rationale]``.
+
+A suppression comment sanctions findings *on its own physical line*; a
+``disable-file=`` form within the first ten lines sanctions a rule for the
+whole module.  The free-text rationale after ``--`` is not parsed — it is
+the reviewable justification the suppression carries at the site, which is
+the policy: a disable without a why does not survive review.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List
+
+_LINE_RE = re.compile(r"#\s*detlint:\s*disable=([A-Z0-9*,\s]+?)(?:\s*--.*)?$")
+_FILE_RE = re.compile(r"#\s*detlint:\s*disable-file=([A-Z0-9*,\s]+?)(?:\s*--.*)?$")
+
+#: How deep into the module a ``disable-file=`` marker may appear.
+_FILE_MARKER_WINDOW = 10
+
+
+def _parse_codes(raw: str) -> FrozenSet[str]:
+    return frozenset(code.strip() for code in raw.split(",") if code.strip())
+
+
+class SuppressionIndex:
+    """Per-line and per-file suppressed rule codes for one module."""
+
+    def __init__(self, source_lines: List[str]) -> None:
+        self._by_line: Dict[int, FrozenSet[str]] = {}
+        self._file_wide: FrozenSet[str] = frozenset()
+        for lineno, text in enumerate(source_lines, start=1):
+            match = _LINE_RE.search(text)
+            if match:
+                self._by_line[lineno] = _parse_codes(match.group(1))
+            if lineno <= _FILE_MARKER_WINDOW:
+                file_match = _FILE_RE.search(text)
+                if file_match:
+                    self._file_wide = self._file_wide | _parse_codes(file_match.group(1))
+
+    def suppresses(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is sanctioned at ``line``."""
+        if rule in self._file_wide or "*" in self._file_wide:
+            return True
+        codes = self._by_line.get(line)
+        if codes is None:
+            return False
+        return rule in codes or "*" in codes
+
+
+__all__ = ["SuppressionIndex"]

@@ -33,11 +33,11 @@ requires every latency ingredient to be *shard-layout invariant*.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sim.rng import config_rng
 
 __all__ = [
     "CongestionConfig",
@@ -114,7 +114,9 @@ class RttTrace:
         """
         if step <= 0:
             raise ConfigurationError("RttTrace.synthetic: step must be positive")
-        rng = random.Random(seed)
+        # config_rng(seed) is random.Random(seed) by contract, so traces
+        # generated before this module was migrated replay byte-for-byte.
+        rng = config_rng(seed)
         segments: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
         for region_a, region_b, base in pairs:
             series: List[Tuple[float, float]] = []

@@ -66,7 +66,7 @@ def canonical_region(region: Region) -> Region:
 TRIANGLE_HUB: Region = "us-west1"
 
 #: Region pairs already warned about (one warning per pair per process).
-_estimated_pairs: set = set()
+_estimated_pairs: set = set()  # detlint: disable=DET004 -- warn-once dedup; never read by simulation logic, cannot affect results
 
 
 def _table_rtt(a: Region, b: Region, table: Mapping[Tuple[Region, Region], float]) -> Optional[float]:
@@ -334,8 +334,8 @@ class LatencyModel:
         seen: set = set()
         for index, group_a in enumerate(keys):
             for group_b in keys[index + 1:]:
-                for region_a in regions_by_group[group_a]:
-                    for region_b in regions_by_group[group_b]:
+                for region_a in sorted(regions_by_group[group_a]):
+                    for region_b in sorted(regions_by_group[group_b]):
                         key = (region_a, region_b) if region_a <= region_b else (region_b, region_a)
                         if key not in seen:
                             seen.add(key)

@@ -109,6 +109,8 @@ class Event(list):
 class EventQueue:
     """A stable priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_sequence", "_live", "_cancelled")
+
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._sequence = 0

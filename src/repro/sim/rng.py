@@ -165,6 +165,26 @@ class _GuardedRandom:
         return guarded
 
 
+def config_rng(seed: int) -> random.Random:
+    """A plain seeded generator for configuration-time data synthesis.
+
+    Some inputs are *synthesized before the simulation exists* — e.g.
+    :meth:`RttTrace.synthetic` builds a latency trace that is then frozen
+    into the scenario spec.  Those sites need a reproducible stream but
+    have no kernel, no shard, and no ownership to audit, so a namespaced
+    :class:`SeededRng` would be ceremony without protection.  They still
+    must not scatter ``random.Random(seed)`` constructions around the
+    tree: this factory is the single sanctioned way to obtain a raw
+    generator outside this module (statically enforced by detlint DET002),
+    which keeps every stream-construction site in one reviewed file.
+
+    The returned generator is seeded with ``seed`` directly (no namespace
+    derivation), so migrating a call site from ``random.Random(seed)`` to
+    ``config_rng(seed)`` is byte-identical.
+    """
+    return random.Random(seed)
+
+
 def stable_hash(items: Iterable[str]) -> int:
     """Hash an iterable of strings to a stable 64-bit integer.
 
@@ -174,4 +194,4 @@ def stable_hash(items: Iterable[str]) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
-__all__ = ["SeededRng", "StreamOwnershipError", "set_active_owner", "stable_hash"]
+__all__ = ["SeededRng", "StreamOwnershipError", "config_rng", "set_active_owner", "stable_hash"]

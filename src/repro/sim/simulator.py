@@ -29,6 +29,8 @@ class Timer:
     the callback fires only if the timer is still pending at expiry.
     """
 
+    __slots__ = ("_simulator", "duration", "callback", "name", "rate", "_label", "_event")
+
     def __init__(
         self,
         simulator: "Simulator",
